@@ -1,0 +1,91 @@
+// Ablation: diversity-based S3-CG seeding (Sec. 7.1.2 — "we chose 10,000
+// compounds for each target by picking out the structurally most diverse
+// compounds ... allowing for maximum possible coverage of the chemical
+// space").
+//
+// From one docked pool, promote a fixed CG budget three ways:
+//   * top-score  — best docking scores only,
+//   * random     — uniform sample,
+//   * MaxMin     — the paper's structural-diversity pick.
+// Reported per strategy: distinct Murcko scaffolds promoted (chemical-space
+// coverage), mean pairwise Tanimoto (redundancy), and the best CG binding
+// free energy found (hit quality is not sacrificed).
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <set>
+
+#include "esmacs_fixture.hpp"
+#include "impeccable/chem/diversity.hpp"
+#include "impeccable/chem/fingerprint.hpp"
+#include "impeccable/chem/scaffold.hpp"
+#include "impeccable/common/rng.hpp"
+
+namespace chem = impeccable::chem;
+using impeccable::common::Rng;
+
+int main() {
+  const std::size_t pool = 40;
+  const std::size_t budget = 8;
+
+  // Docked pool with CG energies for every compound (so all three
+  // strategies are judged on identical ground truth).
+  const auto workload =
+      fixture::run_cg_campaign(pool, /*seed=*/77, /*esmacs_scale=*/0.4,
+                               /*replicas=*/3, /*keep_trajectories=*/false);
+
+  std::vector<chem::BitSet> fps;
+  for (const auto& c : workload.compounds)
+    fps.push_back(chem::morgan_fingerprint(c.molecule));
+
+  auto evaluate = [&](const char* name, const std::vector<std::size_t>& pick) {
+    std::set<std::string> scaffolds;
+    double best_cg = 1e18;
+    double tanimoto_sum = 0.0;
+    int pairs = 0;
+    for (std::size_t i = 0; i < pick.size(); ++i) {
+      const auto& c = workload.compounds[pick[i]];
+      scaffolds.insert(chem::scaffold_smiles(c.molecule));
+      best_cg = std::min(best_cg, c.esmacs.binding_free_energy);
+      for (std::size_t j = i + 1; j < pick.size(); ++j) {
+        tanimoto_sum += chem::tanimoto(fps[pick[i]], fps[pick[j]]);
+        ++pairs;
+      }
+    }
+    std::printf("%-12s %-12zu %-18.3f %-14.2f\n", name, scaffolds.size(),
+                pairs ? tanimoto_sum / pairs : 0.0, best_cg);
+  };
+
+  std::printf("S3-CG seeding ablation: %zu docked compounds, budget %zu\n\n",
+              pool, budget);
+  std::printf("%-12s %-12s %-18s %-14s\n", "strategy", "scaffolds",
+              "mean tanimoto", "best dG(CG)");
+
+  {  // top docking scores
+    std::vector<std::size_t> order(pool);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return workload.compounds[a].dock_result.best_score <
+             workload.compounds[b].dock_result.best_score;
+    });
+    order.resize(budget);
+    evaluate("top-score", order);
+  }
+  {  // random
+    Rng rng(3);
+    std::vector<std::size_t> order(pool);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+    order.resize(budget);
+    evaluate("random", order);
+  }
+  {  // MaxMin diversity (the paper's choice)
+    evaluate("MaxMin", chem::maxmin_pick(fps, budget, 9));
+  }
+
+  std::printf("\nexpected shape: MaxMin promotes the most scaffolds at the "
+              "lowest redundancy while staying competitive on the best hit — "
+              "the rationale for diversity seeding in Sec. 7.1.2.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Ablation (Sec. 5.1.1): AutoDock-GPU's gradient local search. The paper:
+// "ADADELTA has proven to increase significantly the docking quality in
+// terms of RMSDs and scores" over the legacy Solis-Wets method.
+//
+// Same ligands, same evaluation-budget class, four search configurations:
+// pure random sampling, plain GA (no local search), Lamarckian GA +
+// Solis-Wets, Lamarckian GA + ADADELTA. Reported: mean best score, mean
+// RMSD to the best pose found by any method (pose quality), evaluations.
+
+#include <cstdio>
+#include <vector>
+
+#include "impeccable/chem/library.hpp"
+#include "impeccable/chem/smiles.hpp"
+#include "impeccable/common/kabsch.hpp"
+#include "impeccable/common/stats.hpp"
+#include "impeccable/dock/engine.hpp"
+#include "impeccable/dock/receptor.hpp"
+
+namespace chem = impeccable::chem;
+namespace dock = impeccable::dock;
+using impeccable::common::Rng;
+
+int main() {
+  const std::size_t ligand_count = 24;
+  const auto lib = chem::generate_library("OZD", ligand_count, 555);
+  const auto receptor = dock::Receptor::synthesize("T", 777);
+  const auto grid = dock::compute_grid(receptor);
+
+  struct Config {
+    const char* name;
+    dock::LocalSearchMethod ls;
+    double ls_rate;
+  };
+  const Config configs[] = {
+      {"GA only", dock::LocalSearchMethod::None, 0.0},
+      {"LGA + Solis-Wets", dock::LocalSearchMethod::SolisWets, 0.25},
+      {"LGA + ADADELTA", dock::LocalSearchMethod::Adadelta, 0.25},
+  };
+
+  struct Outcome {
+    std::vector<double> scores;
+    std::vector<std::vector<impeccable::common::Vec3>> poses;
+    std::vector<double> evals;
+  };
+  std::vector<Outcome> outcomes(4);  // 3 configs + random baseline
+
+  std::vector<chem::Molecule> mols;
+  for (const auto& e : lib.entries) mols.push_back(chem::parse_smiles(e.smiles));
+
+  for (std::size_t i = 0; i < ligand_count; ++i) {
+    const dock::Ligand lig(mols[i]);
+    const dock::ScoringFunction score(*grid, lig);
+
+    for (int c = 0; c < 3; ++c) {
+      dock::LgaOptions lopts;
+      lopts.population = 24;
+      lopts.generations = 12;
+      lopts.local_search = configs[c].ls;
+      lopts.local_search_rate = configs[c].ls_rate;
+      Rng rng(1000 + i);
+      const auto res = dock::run_lga(score, rng, lopts);
+      outcomes[static_cast<std::size_t>(c)].scores.push_back(res.best_energy);
+      outcomes[static_cast<std::size_t>(c)].poses.push_back(res.best_coords);
+      outcomes[static_cast<std::size_t>(c)].evals.push_back(
+          static_cast<double>(res.evaluations));
+    }
+    {  // Random-sampling baseline at the ADADELTA budget.
+      Rng rng(2000 + i);
+      const std::size_t budget =
+          static_cast<std::size_t>(outcomes[2].evals.back());
+      double best = 1e18;
+      dock::Pose best_pose = lig.identity_pose(grid->pocket_center);
+      for (std::size_t k = 0; k < budget; ++k) {
+        const auto p = lig.random_pose(grid->pocket_center, 4.0, rng);
+        const double e = score.evaluate(p);
+        if (e < best) {
+          best = e;
+          best_pose = p;
+        }
+      }
+      std::vector<impeccable::common::Vec3> coords;
+      lig.build_coords(best_pose, coords);
+      outcomes[3].scores.push_back(best);
+      outcomes[3].poses.push_back(coords);
+      outcomes[3].evals.push_back(static_cast<double>(budget));
+    }
+  }
+
+  // Pose quality: RMSD to the best-scoring pose found by ANY method.
+  std::vector<std::vector<double>> rmsd_to_best(4);
+  for (std::size_t i = 0; i < ligand_count; ++i) {
+    int best_method = 0;
+    for (int c = 1; c < 4; ++c)
+      if (outcomes[static_cast<std::size_t>(c)].scores[i] <
+          outcomes[static_cast<std::size_t>(best_method)].scores[i])
+        best_method = c;
+    const auto& ref = outcomes[static_cast<std::size_t>(best_method)].poses[i];
+    for (int c = 0; c < 4; ++c)
+      rmsd_to_best[static_cast<std::size_t>(c)].push_back(
+          impeccable::common::rmsd_raw(
+              ref, outcomes[static_cast<std::size_t>(c)].poses[i]));
+  }
+
+  std::printf("AutoDock local-search ablation (%zu ligands, one receptor)\n\n",
+              ligand_count);
+  std::printf("%-20s %-18s %-18s %-14s\n", "method", "mean best score",
+              "mean RMSD to best", "mean evals");
+  const char* names[] = {"GA only", "LGA + Solis-Wets", "LGA + ADADELTA",
+                         "random sampling"};
+  for (int c : {3, 0, 1, 2}) {
+    const auto& o = outcomes[static_cast<std::size_t>(c)];
+    std::printf("%-20s %-18.2f %-18.2f %-14.0f\n", names[c],
+                impeccable::common::mean(o.scores),
+                impeccable::common::mean(rmsd_to_best[static_cast<std::size_t>(c)]),
+                impeccable::common::mean(o.evals));
+  }
+  std::printf("\nexpected ordering (paper): ADADELTA <= Solis-Wets < GA-only "
+              "< random on score; gradients improve pose quality.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 5A reproduction: "Summary histogram of the distribution of binding
+// free energies estimated using CG-ESMACS" for the PLPro-like target.
+//
+// The paper runs 10,000 compounds and reports values "typically between -60
+// and +20 kcal/mol"; we run a scaled-down slice and print the histogram over
+// the same axis. Shape to match: a broad unimodal distribution with a
+// favourable (negative) tail of strong binders.
+
+#include <cstdio>
+
+#include "esmacs_fixture.hpp"
+#include "impeccable/common/stats.hpp"
+
+int main() {
+  const std::size_t compounds = 96;
+  const auto workload =
+      fixture::run_cg_campaign(compounds, /*seed=*/11, /*esmacs_scale=*/0.4,
+                               /*replicas=*/4, /*keep_trajectories=*/false);
+
+  std::vector<double> energies;
+  for (const auto& c : workload.compounds)
+    energies.push_back(c.esmacs.binding_free_energy);
+
+  std::printf("Fig. 5A: CG-ESMACS binding free energy distribution "
+              "(%zu compounds, 4 replicas each)\n\n", compounds);
+  impeccable::common::Histogram hist(-80.0, 20.0, 20);
+  hist.add_all(energies);
+  std::printf("%s\n", hist.to_text().c_str());
+
+  std::printf("mean %.1f  sd %.1f  min %.1f  max %.1f kcal/mol "
+              "(paper range: about -60 to +20)\n",
+              impeccable::common::mean(energies),
+              impeccable::common::stddev(energies),
+              impeccable::common::min_of(energies),
+              impeccable::common::max_of(energies));
+
+  // Dock score vs CG energy: the stages must agree on who binds.
+  std::vector<double> dock_scores;
+  for (const auto& c : workload.compounds)
+    dock_scores.push_back(c.dock_result.best_score);
+  std::printf("spearman(dock score, CG dG) = %.3f (both lower = better)\n",
+              impeccable::common::spearman(dock_scores, energies));
+  return 0;
+}

@@ -1,0 +1,113 @@
+// DeepDriveMD-style adaptive sampling (stage S2) as a standalone tool:
+// run a coarse-grained ESMACS ensemble of one protein-ligand complex, train
+// the 3D-AAE on the Cα point clouds of every frame, detect outlier
+// conformations with LOF on the latent manifold, and print the 2D t-SNE of
+// the latent space so the Fig. 5C-style structure is visible in a terminal.
+//
+//   $ ./examples/ensemble_md_sampling
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "impeccable/chem/descriptors.hpp"
+#include "impeccable/chem/smiles.hpp"
+#include "impeccable/common/kabsch.hpp"
+#include "impeccable/dock/engine.hpp"
+#include "impeccable/dock/receptor.hpp"
+#include "impeccable/fe/esmacs.hpp"
+#include "impeccable/md/analysis.hpp"
+#include "impeccable/md/system.hpp"
+#include "impeccable/ml/aae.hpp"
+#include "impeccable/ml/lof.hpp"
+#include "impeccable/ml/tsne.hpp"
+
+namespace chem = impeccable::chem;
+namespace dock = impeccable::dock;
+namespace md = impeccable::md;
+namespace fe = impeccable::fe;
+namespace ml = impeccable::ml;
+
+int main() {
+  // Build one docked LPC.
+  const auto receptor = dock::Receptor::synthesize("target", 99);
+  const auto grid = dock::compute_grid(receptor);
+  const auto mol = chem::parse_smiles("CCOc1ccc(cc1)C(=O)Nc1ccccn1");
+  dock::DockOptions dopts;
+  dopts.runs = 2;
+  const auto pose = dock::dock(*grid, mol, "L1", dopts);
+
+  md::ProteinOptions popts;
+  popts.residues = 60;
+  const auto protein = md::build_protein(99, popts);
+  const auto lpc = md::build_lpc(protein, mol, pose.best_coords);
+
+  // CG ensemble with retained trajectories.
+  fe::EsmacsConfig cfg = fe::cg_config(0.6);
+  cfg.keep_trajectories = true;
+  const int rotatable = chem::compute_descriptors(mol).rotatable_bonds;
+  const auto esmacs = fe::run_esmacs(lpc, rotatable, cfg, 31);
+  std::printf("CG ensemble: %d replicas, dG = %.2f +- %.2f kcal/mol\n",
+              cfg.replicas, esmacs.binding_free_energy, esmacs.std_error);
+
+  // Collect point clouds + per-frame RMSD.
+  std::vector<std::vector<impeccable::common::Vec3>> clouds;
+  std::vector<double> rmsds;
+  for (const auto& traj : esmacs.trajectories) {
+    const auto series =
+        md::rmsd_series(traj, lpc.topology.selection(md::BeadKind::Protein));
+    for (std::size_t f = 0; f < traj.frames.size(); ++f) {
+      clouds.push_back(md::protein_point_cloud(traj.frames[f], lpc));
+      rmsds.push_back(series[f]);
+    }
+  }
+  std::printf("dataset: %zu conformations of %zu C-alpha beads\n",
+              clouds.size(), clouds.front().size());
+
+  // 3D-AAE training + latent embedding.
+  ml::AaeOptions aopts;
+  aopts.epochs = 10;
+  ml::Aae3d aae(static_cast<int>(clouds.front().size()), aopts);
+  const auto report = aae.train(clouds);
+  std::printf("AAE: chamfer %.4f -> %.4f (validation %.4f)\n",
+              report.epochs.front().reconstruction,
+              report.epochs.back().reconstruction,
+              report.epochs.back().validation);
+
+  const auto latent = aae.embed_batch(clouds);
+  const auto lof = ml::local_outlier_factor(latent, 10);
+  const auto outliers = ml::top_outliers(lof, 5);
+  std::printf("top-5 LOF outlier conformations (candidates for S3-FG):\n");
+  for (std::size_t i : outliers)
+    std::printf("  frame %3zu  LOF %.3f  RMSD %.2f A\n", i, lof[i], rmsds[i]);
+
+  // ASCII t-SNE of the latent space, outliers marked '#', high-RMSD 'o'.
+  ml::TsneOptions topts;
+  topts.perplexity = 15.0;
+  topts.iterations = 200;
+  const auto embedded = ml::tsne(latent, topts);
+  const int W = 64, H = 24;
+  std::vector<std::string> canvas(H, std::string(W, ' '));
+  double xmin = 1e18, xmax = -1e18, ymin = 1e18, ymax = -1e18;
+  for (const auto& p : embedded) {
+    xmin = std::min(xmin, p[0]); xmax = std::max(xmax, p[0]);
+    ymin = std::min(ymin, p[1]); ymax = std::max(ymax, p[1]);
+  }
+  const double median_rmsd = [&] {
+    auto r = rmsds;
+    std::nth_element(r.begin(), r.begin() + r.size() / 2, r.end());
+    return r[r.size() / 2];
+  }();
+  for (std::size_t i = 0; i < embedded.size(); ++i) {
+    const int x = static_cast<int>((embedded[i][0] - xmin) / (xmax - xmin + 1e-12) * (W - 1));
+    const int y = static_cast<int>((embedded[i][1] - ymin) / (ymax - ymin + 1e-12) * (H - 1));
+    char mark = '.';
+    if (rmsds[i] > 1.5 * median_rmsd) mark = 'o';
+    if (std::find(outliers.begin(), outliers.end(), i) != outliers.end()) mark = '#';
+    canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = mark;
+  }
+  std::printf("\nt-SNE of the 3D-AAE latent space "
+              "('.' inlier, 'o' high-RMSD, '#' LOF outlier):\n");
+  for (const auto& row : canvas) std::printf("  |%s|\n", row.c_str());
+  return 0;
+}

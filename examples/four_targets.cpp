@@ -1,0 +1,63 @@
+// Multi-target campaign: the paper screens "the four main target SARS-CoV-2
+// proteins, namely 3CLPro, PLPro, ADRP and NSP15" (Sec. 7.1.1), each with
+// multiple crystal structures. This example runs a small campaign per target
+// and prints a per-target hit table — the shape of the NVBL production
+// campaign at demo scale.
+//
+//   $ ./examples/four_targets
+
+#include <cstdio>
+
+#include "impeccable/core/campaign.hpp"
+
+namespace core = impeccable::core;
+namespace fe = impeccable::fe;
+
+int main() {
+  struct TargetSpec {
+    const char* name;
+    std::uint64_t seed;
+  };
+  const TargetSpec specs[] = {
+      {"3CLPro", 301}, {"PLPro", 609}, {"ADRP", 1102}, {"NSP15", 1504}};
+
+  core::CampaignConfig cfg;
+  cfg.library_size = 80;
+  cfg.iterations = 1;
+  cfg.bootstrap_docks = 20;
+  cfg.cg_compounds = 4;
+  cfg.top_binders = 2;
+  cfg.outliers_per_binder = 1;
+  cfg.dock.runs = 1;
+  cfg.dock.lga.population = 16;
+  cfg.dock.lga.generations = 8;
+  cfg.esmacs_cg = fe::cg_config(0.3);
+  cfg.esmacs_cg.replicas = 3;
+  cfg.esmacs_fg = fe::fg_config(0.08);
+  cfg.esmacs_fg.replicas = 4;
+  cfg.aae.epochs = 3;
+
+  std::printf("four-target campaign: %zu-compound library per target, "
+              "2 crystal structures each\n\n", cfg.library_size);
+  std::printf("%-8s %-8s %-8s %-12s %-34s\n", "target", "docked", "CG",
+              "best dG(CG)", "best compound");
+
+  for (const auto& spec : specs) {
+    core::Target target =
+        core::Target::make(spec.name, spec.seed, 40, 21, /*crystals=*/2);
+    cfg.seed = spec.seed;  // per-target bootstrap sample
+    core::Campaign campaign(std::move(target), cfg);
+    const auto report = campaign.run();
+    const auto ranking = report.cg_ranking();
+    const auto& it = report.iterations.front();
+    if (!ranking.empty()) {
+      std::printf("%-8s %-8zu %-8zu %-12.2f %s\n", spec.name, it.docked,
+                  it.cg_runs, ranking.front()->cg_energy,
+                  ranking.front()->smiles.c_str());
+    }
+  }
+  std::printf("\n(each row is an independent IMPECCABLE campaign; the "
+              "production run screened over a dozen targets and 4.2e9 "
+              "ligands, Sec. 8.)\n");
+  return 0;
+}

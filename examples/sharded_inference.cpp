@@ -1,0 +1,74 @@
+// ML1 deployment pipeline (Sec. 6.1.1): shard a compound library's
+// depictions into compressed files on disk, then run distributed inference —
+// rank-partitioned shards, a prefetching loader thread per rank feeding the
+// surrogate through a bounded queue, resilience to corrupt shards, and a
+// rank-0 gather of (ligand, score) pairs.
+//
+//   $ ./examples/sharded_inference
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "impeccable/chem/depiction.hpp"
+#include "impeccable/chem/library.hpp"
+#include "impeccable/chem/smiles.hpp"
+#include "impeccable/ml/shards.hpp"
+
+namespace chem = impeccable::chem;
+namespace ml = impeccable::ml;
+
+int main() {
+  const std::size_t compounds = 400;
+  const std::size_t per_shard = 50;
+
+  // Build the dataset: depictions of a synthetic library.
+  const auto lib = chem::generate_library("ULT", compounds, 911);
+  std::vector<ml::ShardRecord> records;
+  std::size_t raw_bytes = 0;
+  for (const auto& e : lib.entries) {
+    records.push_back({e.id, chem::depict(chem::parse_smiles(e.smiles))});
+    raw_bytes += records.back().image.data.size();  // uint8-quantized size
+  }
+
+  const auto dir = std::filesystem::temp_directory_path() / "impeccable_shards";
+  std::filesystem::remove_all(dir);
+  const auto paths = ml::write_shards(records, per_shard, dir.string());
+
+  std::size_t disk_bytes = 0;
+  for (const auto& p : paths) disk_bytes += std::filesystem::file_size(p);
+  std::printf("dataset: %zu ligands -> %zu shards, compression %.1fx "
+              "(paper reports 14.2x with gzip)\n",
+              compounds, paths.size(),
+              static_cast<double>(raw_bytes) / disk_bytes);
+
+  // Corrupt one shard to demonstrate resilience.
+  {
+    std::ofstream f(paths[2], std::ios::binary | std::ios::trunc);
+    f << "bit rot";
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ml::InferenceOptions iopts;
+  iopts.ranks = 4;
+  const auto out = ml::run_sharded_inference(paths, {}, iopts);
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::printf("inference: %zu ligands scored on %d ranks in %.2f s "
+              "(%.0f ligands/s); %zu shard(s) skipped after IO errors\n",
+              out.scores.size(), iopts.ranks, dt, out.scores.size() / dt,
+              out.shards_failed);
+
+  std::printf("\ntop-5 predicted binders:\n");
+  auto ranked = out.scores;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (std::size_t i = 0; i < 5 && i < ranked.size(); ++i)
+    std::printf("  %s  score %.3f\n", ranked[i].first.c_str(), ranked[i].second);
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

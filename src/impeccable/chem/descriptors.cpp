@@ -1,0 +1,114 @@
+#include "impeccable/chem/descriptors.hpp"
+
+#include <cmath>
+
+namespace impeccable::chem {
+namespace {
+
+/// Crippen-like additive logP contribution per atom, refined by environment.
+/// Magnitudes follow the published Wildman–Crippen table coarsely; we only
+/// need relative hydrophobicity orderings to be sensible.
+double logp_contribution(const Molecule& mol, int i) {
+  const Atom& a = mol.atom(i);
+  const int h = mol.hydrogen_count(i);
+  switch (a.element) {
+    case Element::C: {
+      if (a.aromatic) return 0.29;
+      // Aliphatic carbon: more hydrogens -> more hydrophobic.
+      return 0.14 + 0.08 * h;
+    }
+    case Element::N:
+      return a.aromatic ? -0.49 : (h > 0 ? -0.60 : -0.30);
+    case Element::O:
+      return h > 0 ? -0.40 : -0.12;
+    case Element::S:
+      return 0.25;
+    case Element::P:
+      return 0.10;
+    case Element::F:
+      return 0.22;
+    case Element::Cl:
+      return 0.65;
+    case Element::Br:
+      return 0.86;
+    case Element::I:
+      return 1.10;
+    case Element::B:
+      return 0.05;
+    default:
+      return 0.0;
+  }
+}
+
+/// Ertl-style TPSA fragment contributions (coarse subset).
+double tpsa_contribution(const Molecule& mol, int i) {
+  const Atom& a = mol.atom(i);
+  const int h = mol.hydrogen_count(i);
+  switch (a.element) {
+    case Element::N:
+      if (a.aromatic) return h > 0 ? 15.79 : 12.89;
+      if (h >= 2) return 26.02;
+      if (h == 1) return 12.03;
+      return 3.24;
+    case Element::O:
+      if (a.aromatic) return 13.14;
+      if (h >= 1) return 20.23;
+      // Ether vs carbonyl: double-bonded O is more polar.
+      for (int bi : mol.bonds_of(i))
+        if (mol.bond(bi).order == 2) return 17.07;
+      return 9.23;
+    case Element::S:
+      return h > 0 ? 38.80 : 25.30;
+    case Element::P:
+      return 13.59;
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+bool is_rotatable(const Molecule& mol, int bond_index) {
+  const Bond& b = mol.bond(bond_index);
+  if (b.order != 1 || b.aromatic) return false;
+  if (mol.bond_in_ring(bond_index)) return false;
+  return mol.degree(b.a) >= 2 && mol.degree(b.b) >= 2;
+}
+
+Descriptors compute_descriptors(const Molecule& mol) {
+  Descriptors d;
+  d.heavy_atoms = mol.atom_count();
+  d.ring_count = mol.ring_count();
+
+  for (int i = 0; i < mol.atom_count(); ++i) {
+    const Atom& a = mol.atom(i);
+    const ElementInfo& ei = info(a.element);
+    const int h = mol.hydrogen_count(i);
+    d.molecular_weight += ei.mass + h * kElements[0].mass;
+    d.formal_charge += a.formal_charge;
+    if (a.aromatic) ++d.aromatic_atoms;
+    if (ei.hbond_donor_capable && h > 0) ++d.hbond_donors;
+    if (ei.hbond_acceptor_capable) ++d.hbond_acceptors;
+    d.logp += logp_contribution(mol, i);
+    d.tpsa += tpsa_contribution(mol, i);
+  }
+  for (int bi = 0; bi < mol.bond_count(); ++bi)
+    if (is_rotatable(mol, bi)) ++d.rotatable_bonds;
+
+  d.aromatic_fraction =
+      d.heavy_atoms > 0
+          ? static_cast<double>(d.aromatic_atoms) / d.heavy_atoms
+          : 0.0;
+  return d;
+}
+
+int lipinski_violations(const Descriptors& d) {
+  int v = 0;
+  if (d.molecular_weight > 500.0) ++v;
+  if (d.logp > 5.0) ++v;
+  if (d.hbond_donors > 5) ++v;
+  if (d.hbond_acceptors > 10) ++v;
+  return v;
+}
+
+}  // namespace impeccable::chem

@@ -1,0 +1,35 @@
+#pragma once
+// Molecular descriptors: the cheap whole-molecule features used by the
+// library generator (drug-likeness filters), the ML1 surrogate (auxiliary
+// input features), and the synthetic affinity model.
+
+#include "impeccable/chem/molecule.hpp"
+
+namespace impeccable::chem {
+
+struct Descriptors {
+  double molecular_weight = 0.0;  ///< includes implicit hydrogens
+  int heavy_atoms = 0;
+  int hbond_donors = 0;     ///< N/O/S carrying at least one H
+  int hbond_acceptors = 0;  ///< N/O/F lone-pair acceptors
+  int rotatable_bonds = 0;  ///< acyclic single bonds between non-terminal heavy atoms
+  int ring_count = 0;
+  int aromatic_atoms = 0;
+  double aromatic_fraction = 0.0;  ///< aromatic / heavy atoms
+  double logp = 0.0;        ///< Crippen-style additive estimate (coarse)
+  double tpsa = 0.0;        ///< topological polar surface area estimate, Å²
+  int formal_charge = 0;    ///< net charge
+};
+
+/// Compute all descriptors in one pass. Molecule must be finalized.
+Descriptors compute_descriptors(const Molecule& mol);
+
+/// Number of Lipinski rule-of-five violations (MW>500, logP>5, HBD>5, HBA>10).
+int lipinski_violations(const Descriptors& d);
+
+/// True if the bond is rotatable: acyclic single non-aromatic bond whose both
+/// ends have degree >= 2 (the AutoDock torsion criterion, minus amides which
+/// we keep rotatable at this level of modelling).
+bool is_rotatable(const Molecule& mol, int bond_index);
+
+}  // namespace impeccable::chem

@@ -1,0 +1,85 @@
+#include "impeccable/chem/diversity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "impeccable/common/rng.hpp"
+
+namespace impeccable::chem {
+
+std::vector<std::size_t> maxmin_pick(const std::vector<BitSet>& fps,
+                                     std::size_t count, std::uint64_t seed) {
+  const std::size_t n = fps.size();
+  count = std::min(count, n);
+  std::vector<std::size_t> picked;
+  if (count == 0) return picked;
+  picked.reserve(count);
+
+  common::Rng rng(seed);
+  const std::size_t first = rng.index(n);
+  picked.push_back(first);
+
+  // best_dist[i] = min distance from i to any picked item so far.
+  std::vector<double> best_dist(n);
+  for (std::size_t i = 0; i < n; ++i)
+    best_dist[i] = 1.0 - tanimoto(fps[i], fps[first]);
+
+  while (picked.size() < count) {
+    std::size_t arg = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (best_dist[i] > best) {
+        best = best_dist[i];
+        arg = i;
+      }
+    }
+    if (best <= 0.0) {
+      // Everything remaining is a duplicate of a picked item; fill in index
+      // order to honour the requested count.
+      for (std::size_t i = 0; i < n && picked.size() < count; ++i)
+        if (std::find(picked.begin(), picked.end(), i) == picked.end())
+          picked.push_back(i);
+      break;
+    }
+    picked.push_back(arg);
+    best_dist[arg] = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = 1.0 - tanimoto(fps[i], fps[arg]);
+      best_dist[i] = std::min(best_dist[i], d);
+    }
+  }
+  return picked;
+}
+
+std::vector<int> butina_cluster(const std::vector<BitSet>& fps, double cutoff) {
+  const std::size_t n = fps.size();
+  // Neighbour counts determine centroid processing order (densest first).
+  std::vector<std::vector<std::size_t>> neighbors(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (tanimoto(fps[i], fps[j]) >= cutoff) {
+        neighbors[i].push_back(j);
+        neighbors[j].push_back(i);
+      }
+    }
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return neighbors[a].size() > neighbors[b].size();
+  });
+
+  std::vector<int> label(n, -1);
+  int next_label = 0;
+  for (std::size_t idx : order) {
+    if (label[idx] != -1) continue;
+    label[idx] = next_label;
+    for (std::size_t nb : neighbors[idx])
+      if (label[nb] == -1) label[nb] = next_label;
+    ++next_label;
+  }
+  return label;
+}
+
+}  // namespace impeccable::chem

@@ -1,0 +1,27 @@
+#pragma once
+// Diversity selection over fingerprints.
+//
+// Sec. 7.1.2: "we chose 10,000 compounds for each target by picking out the
+// structurally most diverse compounds" — implemented here as the classic
+// MaxMin (sphere-exclusion-free) picker, plus Butina clustering used by the
+// analysis benches.
+
+#include <cstdint>
+#include <vector>
+
+#include "impeccable/chem/fingerprint.hpp"
+
+namespace impeccable::chem {
+
+/// MaxMin diversity pick: greedily selects `count` items maximizing the
+/// minimum Tanimoto *distance* (1 - similarity) to the already-picked set.
+/// The first pick is seeded for reproducibility. O(count * n) similarity
+/// evaluations with the standard "best distance so far" cache.
+std::vector<std::size_t> maxmin_pick(const std::vector<BitSet>& fps,
+                                     std::size_t count, std::uint64_t seed);
+
+/// Butina (Taylor) clustering: leader clustering at Tanimoto similarity
+/// cutoff; returns cluster labels (centroid-first assignment).
+std::vector<int> butina_cluster(const std::vector<BitSet>& fps, double cutoff);
+
+}  // namespace impeccable::chem

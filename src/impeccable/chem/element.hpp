@@ -1,0 +1,80 @@
+#pragma once
+// Chemical elements supported by the SMILES subset used throughout the
+// pipeline, with the per-element data the substrates need: masses for MW,
+// van der Waals radii and well depths for docking/MD nonbonded terms, default
+// valences for implicit-hydrogen assignment, and coarse hydrophobicity /
+// H-bond capabilities for the scoring function and descriptors.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace impeccable::chem {
+
+enum class Element : std::uint8_t {
+  H, B, C, N, O, F, P, S, Cl, Br, I,
+  Count,
+};
+
+inline constexpr int kElementCount = static_cast<int>(Element::Count);
+
+struct ElementInfo {
+  std::string_view symbol;
+  double mass;           ///< atomic mass, g/mol
+  double vdw_radius;     ///< Å
+  double well_depth;     ///< LJ epsilon, kcal/mol (AutoDock-like magnitudes)
+  int default_valence;   ///< standard valence for implicit-H filling
+  bool hbond_donor_capable;    ///< can carry a donatable H (N, O, S)
+  bool hbond_acceptor_capable; ///< lone-pair acceptor (N, O, F)
+  double hydrophobicity; ///< coarse scale in [-1, 1]; C positive, polar negative
+  double electronegativity;  ///< Pauling
+};
+
+inline constexpr std::array<ElementInfo, kElementCount> kElements{{
+    {"H", 1.008, 1.20, 0.020, 1, false, false, 0.0, 2.20},
+    {"B", 10.81, 1.92, 0.034, 3, false, false, 0.2, 2.04},
+    {"C", 12.011, 1.70, 0.150, 4, false, false, 0.7, 2.55},
+    {"N", 14.007, 1.55, 0.160, 3, true, true, -0.6, 3.04},
+    {"O", 15.999, 1.52, 0.200, 2, true, true, -0.8, 3.44},
+    {"F", 18.998, 1.47, 0.080, 1, false, true, 0.1, 3.98},
+    {"P", 30.974, 1.80, 0.200, 3, false, false, -0.2, 2.19},
+    {"S", 32.06, 1.80, 0.200, 2, true, false, 0.3, 2.58},
+    {"Cl", 35.45, 1.75, 0.276, 1, false, false, 0.5, 3.16},
+    {"Br", 79.904, 1.85, 0.389, 1, false, false, 0.6, 2.96},
+    {"I", 126.904, 1.98, 0.550, 1, false, false, 0.7, 2.66},
+}};
+
+inline constexpr const ElementInfo& info(Element e) {
+  return kElements[static_cast<std::size_t>(e)];
+}
+
+inline constexpr std::string_view symbol(Element e) { return info(e).symbol; }
+
+/// Parse an element symbol ("C", "Cl", ...). Case-sensitive, standard casing.
+std::optional<Element> element_from_symbol(std::string_view s);
+
+/// True if the element participates in aromatic SMILES (b, c, n, o, p, s).
+inline constexpr bool can_be_aromatic(Element e) {
+  switch (e) {
+    case Element::B:
+    case Element::C:
+    case Element::N:
+    case Element::O:
+    case Element::P:
+    case Element::S:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline std::optional<Element> element_from_symbol(std::string_view s) {
+  for (int i = 0; i < kElementCount; ++i) {
+    if (kElements[static_cast<std::size_t>(i)].symbol == s)
+      return static_cast<Element>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace impeccable::chem

@@ -1,0 +1,137 @@
+#include "impeccable/chem/fingerprint.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace impeccable::chem {
+namespace {
+
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t atom_invariant(const Molecule& mol, int i) {
+  const Atom& a = mol.atom(i);
+  std::uint64_t h = 1469598103934665603ULL;
+  h = hash_mix(h, static_cast<std::uint64_t>(a.element));
+  h = hash_mix(h, static_cast<std::uint64_t>(a.aromatic));
+  h = hash_mix(h, static_cast<std::uint64_t>(mol.degree(i)));
+  h = hash_mix(h, static_cast<std::uint64_t>(mol.hydrogen_count(i)));
+  h = hash_mix(h, static_cast<std::uint64_t>(a.formal_charge + 16));
+  h = hash_mix(h, static_cast<std::uint64_t>(mol.atom_in_ring(i)));
+  return h;
+}
+
+std::uint64_t bond_invariant(const Bond& b) {
+  return b.aromatic ? 4u : static_cast<std::uint64_t>(b.order);
+}
+
+}  // namespace
+
+BitSet::BitSet(int bits) : bits_(bits), words_(static_cast<std::size_t>((bits + 63) / 64), 0) {}
+
+int BitSet::popcount() const {
+  int n = 0;
+  for (auto w : words_) n += std::popcount(w);
+  return n;
+}
+
+int BitSet::intersection_count(const BitSet& a, const BitSet& b) {
+  int n = 0;
+  const std::size_t k = std::min(a.words_.size(), b.words_.size());
+  for (std::size_t i = 0; i < k; ++i) n += std::popcount(a.words_[i] & b.words_[i]);
+  return n;
+}
+
+int BitSet::union_count(const BitSet& a, const BitSet& b) {
+  int n = 0;
+  const std::size_t k = std::max(a.words_.size(), b.words_.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t wa = i < a.words_.size() ? a.words_[i] : 0;
+    const std::uint64_t wb = i < b.words_.size() ? b.words_[i] : 0;
+    n += std::popcount(wa | wb);
+  }
+  return n;
+}
+
+double tanimoto(const BitSet& a, const BitSet& b) {
+  const int u = BitSet::union_count(a, b);
+  if (u == 0) return 1.0;
+  return static_cast<double>(BitSet::intersection_count(a, b)) / u;
+}
+
+BitSet morgan_fingerprint(const Molecule& mol, int radius, int bits) {
+  BitSet fp(bits);
+  const int n = mol.atom_count();
+  std::vector<std::uint64_t> ids(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = atom_invariant(mol, i);
+
+  for (int r = 0; r <= radius; ++r) {
+    for (int i = 0; i < n; ++i)
+      fp.set(static_cast<int>(ids[static_cast<std::size_t>(i)] % static_cast<std::uint64_t>(bits)));
+    if (r == radius) break;
+    // Next-iteration identifiers: hash of own id + sorted (bond, neighbor id).
+    std::vector<std::uint64_t> next(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> env;
+      for (int bi : mol.bonds_of(i)) {
+        const int nb = mol.neighbor(i, bi);
+        env.emplace_back(bond_invariant(mol.bond(bi)), ids[static_cast<std::size_t>(nb)]);
+      }
+      std::sort(env.begin(), env.end());
+      std::uint64_t h = hash_mix(0xcbf29ce484222325ULL, ids[static_cast<std::size_t>(i)]);
+      h = hash_mix(h, static_cast<std::uint64_t>(r + 1));
+      for (const auto& [bo, nid] : env) {
+        h = hash_mix(h, bo);
+        h = hash_mix(h, nid);
+      }
+      next[static_cast<std::size_t>(i)] = h;
+    }
+    ids = std::move(next);
+  }
+  return fp;
+}
+
+namespace {
+
+void path_dfs(const Molecule& mol, int atom, int max_length, BitSet& fp,
+              std::vector<int>& atom_path, std::vector<std::uint64_t>& hash_path,
+              std::vector<bool>& on_path) {
+  const std::uint64_t here =
+      hash_mix(hash_path.empty() ? 0x100001b3ULL : hash_path.back(),
+               atom_invariant(mol, atom));
+  hash_path.push_back(here);
+  atom_path.push_back(atom);
+  on_path[static_cast<std::size_t>(atom)] = true;
+
+  fp.set(static_cast<int>(here % static_cast<std::uint64_t>(fp.size())));
+
+  if (static_cast<int>(atom_path.size()) <= max_length) {
+    for (int bi : mol.bonds_of(atom)) {
+      const int nb = mol.neighbor(atom, bi);
+      if (on_path[static_cast<std::size_t>(nb)]) continue;
+      hash_path.back() = hash_mix(here, bond_invariant(mol.bond(bi)));
+      path_dfs(mol, nb, max_length, fp, atom_path, hash_path, on_path);
+      hash_path.back() = here;
+    }
+  }
+
+  on_path[static_cast<std::size_t>(atom)] = false;
+  atom_path.pop_back();
+  hash_path.pop_back();
+}
+
+}  // namespace
+
+BitSet path_fingerprint(const Molecule& mol, int max_length, int bits) {
+  BitSet fp(bits);
+  std::vector<int> atom_path;
+  std::vector<std::uint64_t> hash_path;
+  std::vector<bool> on_path(static_cast<std::size_t>(mol.atom_count()), false);
+  for (int i = 0; i < mol.atom_count(); ++i)
+    path_dfs(mol, i, max_length, fp, atom_path, hash_path, on_path);
+  return fp;
+}
+
+}  // namespace impeccable::chem

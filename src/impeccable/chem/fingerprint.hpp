@@ -1,0 +1,47 @@
+#pragma once
+// Binary molecular fingerprints and Tanimoto similarity.
+//
+// Used by the diversity selection in S3-CG staging ("picking out the
+// structurally most diverse compounds", Sec. 7.1.2) and by the library
+// overlap analysis (OZD vs ORD, Sec. 7.1).
+
+#include <cstdint>
+#include <vector>
+
+#include "impeccable/chem/molecule.hpp"
+
+namespace impeccable::chem {
+
+/// Fixed-size bit vector with population-count helpers.
+class BitSet {
+ public:
+  explicit BitSet(int bits = 1024);
+
+  int size() const { return bits_; }
+  void set(int i) { words_[static_cast<std::size_t>(i) >> 6] |= 1ULL << (i & 63); }
+  bool test(int i) const {
+    return (words_[static_cast<std::size_t>(i) >> 6] >> (i & 63)) & 1ULL;
+  }
+  int popcount() const;
+  /// |a & b|
+  static int intersection_count(const BitSet& a, const BitSet& b);
+  /// |a | b|
+  static int union_count(const BitSet& a, const BitSet& b);
+
+ private:
+  int bits_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Tanimoto similarity |a&b| / |a|b|; 1.0 for two empty fingerprints.
+double tanimoto(const BitSet& a, const BitSet& b);
+
+/// Morgan (ECFP-style) circular fingerprint: iteratively hashed atom
+/// environments up to `radius` bond hops, folded into `bits` bits.
+BitSet morgan_fingerprint(const Molecule& mol, int radius = 2, int bits = 1024);
+
+/// Daylight-style linear path fingerprint: all simple paths up to
+/// `max_length` bonds, hashed and folded.
+BitSet path_fingerprint(const Molecule& mol, int max_length = 5, int bits = 1024);
+
+}  // namespace impeccable::chem

@@ -1,0 +1,37 @@
+#pragma once
+// Coordinate generation from the molecular graph.
+//
+//  * layout_2d      — force-directed 2D depiction coordinates; ML1's image
+//                     featurization ("2D image depictions", Sec. 5.1.2)
+//                     rasterizes these.
+//  * embed_3d       — crude distance-geometry 3D embedding used to build the
+//                     docking ligand (conformer enumeration input, Sec. 3.2 S1)
+//                     and the MD bead topology.
+//
+// Both are deterministic given (molecule, seed).
+
+#include <cstdint>
+#include <vector>
+
+#include "impeccable/chem/molecule.hpp"
+#include "impeccable/common/vec3.hpp"
+
+namespace impeccable::chem {
+
+struct Point2 {
+  double x = 0.0, y = 0.0;
+};
+
+/// Spring-embedder 2D layout with unit bond lengths; centered at the origin
+/// and scaled so the RMS distance from center is 1.
+std::vector<Point2> layout_2d(const Molecule& mol, std::uint64_t seed = 7);
+
+/// Distance-geometry 3D embedding: bond-length and 1-3 distance restraints
+/// plus soft nonbonded repulsion, minimized from a randomized start.
+/// Bond lengths follow covalent-radius sums (~1.2-2.2 Å scale).
+std::vector<common::Vec3> embed_3d(const Molecule& mol, std::uint64_t seed = 7);
+
+/// Ideal length for a bond, Å (order-aware covalent radii sum).
+double ideal_bond_length(const Molecule& mol, int bond_index);
+
+}  // namespace impeccable::chem

@@ -1,0 +1,321 @@
+#include "impeccable/chem/library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "impeccable/chem/descriptors.hpp"
+#include "impeccable/chem/smiles.hpp"
+#include "impeccable/common/rng.hpp"
+
+namespace impeccable::chem {
+namespace {
+
+using common::Rng;
+
+/// Remaining bonding capacity of an atom given what is already attached.
+int free_valence(const Molecule& mol, int i) {
+  const Atom& a = mol.atom(i);
+  int target = info(a.element).default_valence;
+  if (a.element == Element::N && a.formal_charge > 0) target += 1;
+  const int used = static_cast<int>(std::ceil(mol.valence_used(i) - 1e-9));
+  return std::max(0, target - used);
+}
+
+/// Atoms with at least `need` free valence.
+std::vector<int> attachment_points(const Molecule& mol, int need = 1) {
+  std::vector<int> out;
+  for (int i = 0; i < mol.atom_count(); ++i)
+    if (free_valence(mol, i) >= need) out.push_back(i);
+  return out;
+}
+
+/// Append an aromatic 6-ring; returns its atom indices. Hetero pattern picks
+/// benzene / pyridine / pyrimidine-like rings.
+std::vector<int> add_aromatic6(Molecule& mol, Rng& rng) {
+  std::vector<int> ring;
+  const int n_count = static_cast<int>(rng.index(3));  // 0..2 ring nitrogens
+  std::vector<int> npos;
+  while (static_cast<int>(npos.size()) < n_count) {
+    const int p = static_cast<int>(rng.index(6));
+    if (std::find(npos.begin(), npos.end(), p) == npos.end()) npos.push_back(p);
+  }
+  for (int k = 0; k < 6; ++k) {
+    Atom a;
+    a.aromatic = true;
+    a.element = std::find(npos.begin(), npos.end(), k) != npos.end()
+                    ? Element::N
+                    : Element::C;
+    ring.push_back(mol.add_atom(a));
+  }
+  for (int k = 0; k < 6; ++k)
+    mol.add_bond(ring[static_cast<std::size_t>(k)],
+                 ring[static_cast<std::size_t>((k + 1) % 6)], 1, true);
+  return ring;
+}
+
+/// Append an aromatic 5-ring (pyrrole / furan / thiophene / imidazole-like).
+std::vector<int> add_aromatic5(Molecule& mol, Rng& rng) {
+  std::vector<int> ring;
+  // One mandatory heteroatom that contributes the lone pair.
+  Element het;
+  int het_h = 0;
+  switch (rng.index(3)) {
+    case 0: het = Element::N; het_h = 1; break;  // pyrrole-like [nH]
+    case 1: het = Element::O; break;             // furan
+    default: het = Element::S; break;            // thiophene
+  }
+  {
+    Atom a;
+    a.aromatic = true;
+    a.element = het;
+    if (het == Element::N) a.explicit_h = het_h;
+    ring.push_back(mol.add_atom(a));
+  }
+  const bool extra_n = rng.bernoulli(0.3);  // imidazole/oxazole-like
+  for (int k = 1; k < 5; ++k) {
+    Atom a;
+    a.aromatic = true;
+    a.element = (extra_n && k == 2) ? Element::N : Element::C;
+    ring.push_back(mol.add_atom(a));
+  }
+  for (int k = 0; k < 5; ++k)
+    mol.add_bond(ring[static_cast<std::size_t>(k)],
+                 ring[static_cast<std::size_t>((k + 1) % 5)], 1, true);
+  return ring;
+}
+
+/// Append a saturated ring (cyclohexane / piperidine / morpholine-like /
+/// cyclopentane).
+std::vector<int> add_aliphatic_ring(Molecule& mol, Rng& rng) {
+  const int size = rng.bernoulli(0.35) ? 5 : 6;
+  std::vector<int> ring;
+  const bool with_n = rng.bernoulli(0.4);
+  const bool with_o = !with_n && rng.bernoulli(0.3);
+  for (int k = 0; k < size; ++k) {
+    Atom a;
+    a.element = Element::C;
+    if (k == 0 && with_n) a.element = Element::N;
+    if (k == 0 && with_o) a.element = Element::O;
+    if (size == 6 && k == 3 && with_n && rng.bernoulli(0.4))
+      a.element = Element::O;  // morpholine-like
+    ring.push_back(mol.add_atom(a));
+  }
+  for (int k = 0; k < size; ++k)
+    mol.add_bond(ring[static_cast<std::size_t>(k)],
+                 ring[static_cast<std::size_t>((k + 1) % size)], 1, false);
+  return ring;
+}
+
+std::vector<int> add_ring(Molecule& mol, Rng& rng) {
+  const double r = rng.uniform();
+  if (r < 0.45) return add_aromatic6(mol, rng);
+  if (r < 0.70) return add_aromatic5(mol, rng);
+  return add_aliphatic_ring(mol, rng);
+}
+
+/// Attach a small functional group to `site` (which must have free valence).
+void add_functional_group(Molecule& mol, Rng& rng, int site) {
+  switch (rng.index(12)) {
+    case 0: {  // hydroxyl
+      const int o = mol.add_atom({Element::O});
+      mol.add_bond(site, o);
+      break;
+    }
+    case 1: {  // amine
+      const int n = mol.add_atom({Element::N});
+      mol.add_bond(site, n);
+      break;
+    }
+    case 2: {  // methyl / ethyl chain
+      int prev = site;
+      const int len = 1 + static_cast<int>(rng.index(3));
+      for (int k = 0; k < len; ++k) {
+        const int c = mol.add_atom({Element::C});
+        mol.add_bond(prev, c);
+        prev = c;
+      }
+      break;
+    }
+    case 3: {  // halogen
+      Element hal;
+      switch (rng.index(3)) {
+        case 0: hal = Element::F; break;
+        case 1: hal = Element::Cl; break;
+        default: hal = Element::Br; break;
+      }
+      mol.add_bond(site, mol.add_atom({hal}));
+      break;
+    }
+    case 4: {  // methoxy
+      const int o = mol.add_atom({Element::O});
+      mol.add_bond(site, o);
+      mol.add_bond(o, mol.add_atom({Element::C}));
+      break;
+    }
+    case 5: {  // nitrile (needs a fresh sp carbon)
+      const int c = mol.add_atom({Element::C});
+      mol.add_bond(site, c);
+      mol.add_bond(c, mol.add_atom({Element::N}), 3);
+      break;
+    }
+    case 6: {  // carboxylic acid
+      const int c = mol.add_atom({Element::C});
+      mol.add_bond(site, c);
+      mol.add_bond(c, mol.add_atom({Element::O}), 2);
+      mol.add_bond(c, mol.add_atom({Element::O}));
+      break;
+    }
+    case 7: {  // amide
+      const int c = mol.add_atom({Element::C});
+      mol.add_bond(site, c);
+      mol.add_bond(c, mol.add_atom({Element::O}), 2);
+      mol.add_bond(c, mol.add_atom({Element::N}));
+      break;
+    }
+    case 8: {  // ketone branch
+      const int c = mol.add_atom({Element::C});
+      mol.add_bond(site, c);
+      mol.add_bond(c, mol.add_atom({Element::O}), 2);
+      mol.add_bond(c, mol.add_atom({Element::C}));
+      break;
+    }
+    case 9: {  // trifluoromethyl
+      const int c = mol.add_atom({Element::C});
+      mol.add_bond(site, c);
+      for (int k = 0; k < 3; ++k) mol.add_bond(c, mol.add_atom({Element::F}));
+      break;
+    }
+    case 10: {  // sulfonamide-like S(=O)(=O)N  (hexavalent S via explicit_h=0)
+      Atom s;
+      s.element = Element::S;
+      s.explicit_h = 0;
+      const int si = mol.add_atom(s);
+      mol.add_bond(site, si);
+      mol.add_bond(si, mol.add_atom({Element::O}), 2);
+      mol.add_bond(si, mol.add_atom({Element::O}), 2);
+      mol.add_bond(si, mol.add_atom({Element::N}));
+      break;
+    }
+    default: {  // charged amine [NH3+]-ish tail
+      Atom n;
+      n.element = Element::N;
+      n.formal_charge = 1;
+      const int c = mol.add_atom({Element::C});
+      mol.add_bond(site, c);
+      mol.add_bond(c, mol.add_atom(n));
+      break;
+    }
+  }
+}
+
+/// Connect ring `b_atoms` to existing atom `site` with a single bond or a
+/// short linker chain.
+void link(Molecule& mol, Rng& rng, int site, int ring_atom) {
+  const int linker = static_cast<int>(rng.index(3));  // 0..2 CH2 units
+  int prev = site;
+  for (int k = 0; k < linker; ++k) {
+    const int c = mol.add_atom({Element::C});
+    mol.add_bond(prev, c);
+    prev = c;
+  }
+  mol.add_bond(prev, ring_atom);
+}
+
+Molecule assemble(Rng& rng, const GeneratorOptions& opts) {
+  Molecule mol;
+  auto scaffold = add_ring(mol, rng);
+  (void)scaffold;
+
+  const int extra_rings = static_cast<int>(rng.index(3));  // 0..2 extra rings
+  for (int r = 0; r < extra_rings; ++r) {
+    mol.finalize();  // refresh valence info for attachment query
+    auto sites = attachment_points(mol);
+    if (sites.empty()) break;
+    const int site = sites[rng.index(sites.size())];
+    auto ring = add_ring(mol, rng);
+    // Ring atoms were appended after `site`, so pick an attachable one.
+    std::vector<int> ring_sites;
+    mol.finalize();
+    for (int a : ring)
+      if (free_valence(mol, a) >= 1 && a != site) ring_sites.push_back(a);
+    if (ring_sites.empty()) break;
+    link(mol, rng, site, ring_sites[rng.index(ring_sites.size())]);
+  }
+
+  const int groups = 1 + static_cast<int>(rng.index(4));  // 1..4 substituents
+  for (int g = 0; g < groups; ++g) {
+    mol.finalize();
+    auto sites = attachment_points(mol);
+    if (sites.empty()) break;
+    if (mol.atom_count() >= opts.max_heavy_atoms) break;
+    add_functional_group(mol, rng, sites[rng.index(sites.size())]);
+  }
+
+  mol.finalize();
+  return mol;
+}
+
+}  // namespace
+
+Molecule generate_compound(std::uint64_t seed, std::uint64_t index,
+                           const GeneratorOptions& opts) {
+  // Mix seed and index so per-compound streams are independent.
+  std::uint64_t mix = seed;
+  (void)common::splitmix64(mix);
+  mix ^= index * 0x9e3779b97f4a7c15ULL;
+  Rng rng(common::splitmix64(mix));
+
+  for (int attempt = 0; attempt < opts.max_attempts_per_compound; ++attempt) {
+    Molecule mol = assemble(rng, opts);
+    if (mol.atom_count() < opts.min_heavy_atoms) continue;
+    if (mol.atom_count() > opts.max_heavy_atoms) continue;
+    if (!mol.connected()) continue;
+    const Descriptors d = compute_descriptors(mol);
+    if (lipinski_violations(d) > opts.max_lipinski_violations) continue;
+    return mol;
+  }
+  throw std::runtime_error("generate_compound: failed to produce a valid molecule");
+}
+
+CompoundLibrary generate_library(const std::string& name, std::size_t count,
+                                 std::uint64_t seed,
+                                 const GeneratorOptions& opts) {
+  CompoundLibrary lib;
+  lib.name = name;
+  lib.entries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Molecule mol = generate_compound(seed, i, opts);
+    char id[64];
+    std::snprintf(id, sizeof id, "%s-%06zu", name.c_str(), i);
+    lib.entries.push_back({id, write_smiles(mol)});
+  }
+  return lib;
+}
+
+std::pair<CompoundLibrary, CompoundLibrary> generate_overlapping_libraries(
+    const std::string& name_a, const std::string& name_b, std::size_t count,
+    double overlap_fraction, std::uint64_t seed, const GeneratorOptions& opts) {
+  overlap_fraction = std::clamp(overlap_fraction, 0.0, 1.0);
+  const std::size_t shared = static_cast<std::size_t>(
+      std::llround(overlap_fraction * static_cast<double>(count)));
+  const std::size_t unique = count - shared;
+
+  const std::uint64_t shared_seed = seed ^ 0x5eed5a7edULL;
+  CompoundLibrary pool = generate_library("SHR", shared, shared_seed, opts);
+
+  auto build = [&](const std::string& name, std::uint64_t s, std::uint64_t salt) {
+    CompoundLibrary lib = generate_library(name, unique, s ^ salt, opts);
+    lib.name = name;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      char id[64];
+      std::snprintf(id, sizeof id, "%s-%06zu", name.c_str(), unique + i);
+      lib.entries.push_back({id, pool.entries[i].smiles});
+    }
+    return lib;
+  };
+  return {build(name_a, seed, 0x1111), build(name_b, seed, 0x2222)};
+}
+
+}  // namespace impeccable::chem

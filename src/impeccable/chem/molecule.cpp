@@ -1,0 +1,201 @@
+#include "impeccable/chem/molecule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace impeccable::chem {
+
+int Molecule::add_atom(Atom a) {
+  finalized_ = false;
+  atoms_.push_back(a);
+  adjacency_.emplace_back();
+  return atom_count() - 1;
+}
+
+int Molecule::add_bond(int a, int b, int order, bool aromatic) {
+  if (a < 0 || b < 0 || a >= atom_count() || b >= atom_count())
+    throw std::out_of_range("Molecule::add_bond: atom index out of range");
+  if (a == b) throw std::invalid_argument("Molecule::add_bond: self-loop");
+  if (bond_between(a, b) >= 0)
+    throw std::invalid_argument("Molecule::add_bond: duplicate bond");
+  if (order < 1 || order > 3)
+    throw std::invalid_argument("Molecule::add_bond: order must be 1..3");
+  finalized_ = false;
+  bonds_.push_back(Bond{a, b, order, aromatic});
+  const int idx = bond_count() - 1;
+  adjacency_[static_cast<std::size_t>(a)].push_back(idx);
+  adjacency_[static_cast<std::size_t>(b)].push_back(idx);
+  return idx;
+}
+
+int Molecule::neighbor(int i, int bond_idx) const {
+  const Bond& bd = bond(bond_idx);
+  return bd.a == i ? bd.b : bd.a;
+}
+
+std::vector<int> Molecule::neighbors(int i) const {
+  std::vector<int> out;
+  out.reserve(bonds_of(i).size());
+  for (int bi : bonds_of(i)) out.push_back(neighbor(i, bi));
+  return out;
+}
+
+int Molecule::bond_between(int a, int b) const {
+  if (a < 0 || a >= atom_count()) return -1;
+  for (int bi : bonds_of(a))
+    if (neighbor(a, bi) == b) return bi;
+  return -1;
+}
+
+void Molecule::finalize() {
+  compute_rings();
+  compute_hydrogens();
+  finalized_ = true;
+}
+
+void Molecule::compute_rings() {
+  // A bond is in a ring iff it is not a bridge. Classic one-pass bridge
+  // finding via DFS low-link values (iterative to handle large molecules).
+  const int n = atom_count();
+  atom_in_ring_.assign(static_cast<std::size_t>(n), false);
+  bond_in_ring_.assign(static_cast<std::size_t>(bond_count()), true);
+
+  std::vector<int> disc(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  int timer = 0;
+  int components = 0;
+
+  struct Frame {
+    int atom;
+    int parent_bond;
+    std::size_t next_edge;
+  };
+
+  for (int start = 0; start < n; ++start) {
+    if (disc[static_cast<std::size_t>(start)] != -1) continue;
+    ++components;
+    std::vector<Frame> stack;
+    disc[static_cast<std::size_t>(start)] = low[static_cast<std::size_t>(start)] = timer++;
+    stack.push_back({start, -1, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& edges = bonds_of(f.atom);
+      if (f.next_edge < edges.size()) {
+        const int bi = edges[f.next_edge++];
+        if (bi == f.parent_bond) continue;
+        const int to = neighbor(f.atom, bi);
+        auto ut = static_cast<std::size_t>(to);
+        auto ua = static_cast<std::size_t>(f.atom);
+        if (disc[ut] != -1) {
+          low[ua] = std::min(low[ua], disc[ut]);
+        } else {
+          disc[ut] = low[ut] = timer++;
+          stack.push_back({to, bi, 0});
+        }
+      } else {
+        // Post-order: propagate low-link to parent; mark bridges.
+        if (f.parent_bond >= 0) {
+          const Bond& pb = bond(f.parent_bond);
+          const int parent = pb.a == f.atom ? pb.b : pb.a;
+          auto up = static_cast<std::size_t>(parent);
+          auto ua = static_cast<std::size_t>(f.atom);
+          low[up] = std::min(low[up], low[ua]);
+          if (low[ua] > disc[up])
+            bond_in_ring_[static_cast<std::size_t>(f.parent_bond)] = false;
+        }
+        stack.pop_back();
+      }
+    }
+  }
+
+  for (int bi = 0; bi < bond_count(); ++bi) {
+    if (!bond_in_ring_[static_cast<std::size_t>(bi)]) continue;
+    atom_in_ring_[static_cast<std::size_t>(bond(bi).a)] = true;
+    atom_in_ring_[static_cast<std::size_t>(bond(bi).b)] = true;
+  }
+
+  ring_count_ = bond_count() - n + components;
+}
+
+double Molecule::valence_used(int i) const {
+  double v = 0.0;
+  for (int bi : bonds_of(i)) {
+    const Bond& b = bond(bi);
+    v += b.aromatic ? 1.5 : static_cast<double>(b.order);
+  }
+  return v;
+}
+
+void Molecule::compute_hydrogens() {
+  h_count_.assign(static_cast<std::size_t>(atom_count()), 0);
+  for (int i = 0; i < atom_count(); ++i) {
+    const Atom& a = atom(i);
+    if (a.explicit_h >= 0) {
+      h_count_[static_cast<std::size_t>(i)] = a.explicit_h;
+      continue;
+    }
+    // Default valence, adjusted by formal charge in the usual direction
+    // (e.g. [NH4+] has valence 4, [O-] has valence 1).
+    int target = info(a.element).default_valence;
+    if (a.element == Element::N || a.element == Element::P)
+      target += a.formal_charge;
+    else if (a.element == Element::O || a.element == Element::S)
+      target += a.formal_charge;
+    else if (a.element == Element::C)
+      target -= std::abs(a.formal_charge);
+    const int used = static_cast<int>(std::ceil(valence_used(i) - 1e-9));
+    h_count_[static_cast<std::size_t>(i)] = std::max(0, target - used);
+  }
+}
+
+bool Molecule::connected() const {
+  if (atom_count() == 0) return true;
+  std::vector<bool> seen(static_cast<std::size_t>(atom_count()), false);
+  std::vector<int> stack{0};
+  seen[0] = true;
+  int visited = 1;
+  while (!stack.empty()) {
+    const int cur = stack.back();
+    stack.pop_back();
+    for (int bi : bonds_of(cur)) {
+      const int to = neighbor(cur, bi);
+      if (!seen[static_cast<std::size_t>(to)]) {
+        seen[static_cast<std::size_t>(to)] = true;
+        ++visited;
+        stack.push_back(to);
+      }
+    }
+  }
+  return visited == atom_count();
+}
+
+std::string Molecule::formula() const {
+  std::map<std::string, int> counts;
+  int hydrogens = 0;
+  for (int i = 0; i < atom_count(); ++i) {
+    counts[std::string(symbol(atom(i).element))]++;
+    if (finalized_) hydrogens += hydrogen_count(i);
+  }
+  if (hydrogens > 0) counts["H"] += hydrogens;
+
+  std::string out;
+  auto append = [&](const std::string& sym) {
+    auto it = counts.find(sym);
+    if (it == counts.end() || it->second == 0) return;
+    out += sym;
+    if (it->second > 1) out += std::to_string(it->second);
+    counts.erase(it);
+  };
+  // Hill order: carbon, hydrogen, then the rest alphabetically.
+  append("C");
+  append("H");
+  for (const auto& [sym, cnt] : counts) {
+    out += sym;
+    if (cnt > 1) out += std::to_string(cnt);
+  }
+  return out;
+}
+
+}  // namespace impeccable::chem

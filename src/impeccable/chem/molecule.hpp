@@ -1,0 +1,96 @@
+#pragma once
+// Molecular graph: the single in-memory representation every stage consumes.
+// ML1 rasterizes it into an image, S1 builds a torsional-tree ligand from its
+// 3D embedding, S2/S3 derive coarse-grained beads from its heavy atoms.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "impeccable/chem/element.hpp"
+
+namespace impeccable::chem {
+
+struct Atom {
+  Element element = Element::C;
+  int formal_charge = 0;
+  bool aromatic = false;
+  /// Hydrogen count fixed by a bracket atom expression; -1 = derive from
+  /// default valence (the usual organic-subset rule).
+  int explicit_h = -1;
+};
+
+struct Bond {
+  int a = -1;
+  int b = -1;
+  /// Integer bond order 1..3; aromatic bonds carry order 1 plus the flag.
+  int order = 1;
+  bool aromatic = false;
+};
+
+/// Undirected molecular graph with typed atoms and bonds.
+/// Mutation happens during construction (parser / generator); afterwards the
+/// graph is treated as immutable and derived data (ring flags, implicit H)
+/// is computed once via finalize().
+class Molecule {
+ public:
+  int add_atom(Atom a);
+  /// Adds a bond between existing atoms; rejects self-loops and duplicates.
+  int add_bond(int a, int b, int order = 1, bool aromatic = false);
+
+  /// Computes ring membership and implicit hydrogen counts. Must be called
+  /// after construction and before any query below that depends on them.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  int atom_count() const { return static_cast<int>(atoms_.size()); }
+  int bond_count() const { return static_cast<int>(bonds_.size()); }
+  const Atom& atom(int i) const { return atoms_[static_cast<std::size_t>(i)]; }
+  const Bond& bond(int i) const { return bonds_[static_cast<std::size_t>(i)]; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  const std::vector<Bond>& bonds() const { return bonds_; }
+
+  /// Indices of bonds incident to atom i.
+  const std::vector<int>& bonds_of(int i) const {
+    return adjacency_[static_cast<std::size_t>(i)];
+  }
+  /// Heavy-atom degree of atom i.
+  int degree(int i) const { return static_cast<int>(bonds_of(i).size()); }
+  /// The atom at the other end of bond `bond_idx` from atom i.
+  int neighbor(int i, int bond_idx) const;
+  /// Neighbor atom indices of atom i.
+  std::vector<int> neighbors(int i) const;
+  /// Bond between atoms a and b, or -1.
+  int bond_between(int a, int b) const;
+
+  // --- derived data (valid after finalize()) ---
+  bool atom_in_ring(int i) const { return atom_in_ring_[static_cast<std::size_t>(i)]; }
+  bool bond_in_ring(int i) const { return bond_in_ring_[static_cast<std::size_t>(i)]; }
+  /// Implicit+explicit hydrogens attached to heavy atom i.
+  int hydrogen_count(int i) const { return h_count_[static_cast<std::size_t>(i)]; }
+  /// Number of independent rings (cyclomatic number).
+  int ring_count() const { return ring_count_; }
+  /// True if the whole graph is a single connected component.
+  bool connected() const;
+
+  /// Sum of bond orders at atom i, counting aromatic bonds as 1.5.
+  double valence_used(int i) const;
+
+  /// Molecular formula like "C9H8O4" (Hill order: C, H, then alphabetical).
+  std::string formula() const;
+
+ private:
+  void compute_rings();
+  void compute_hydrogens();
+
+  std::vector<Atom> atoms_;
+  std::vector<Bond> bonds_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<bool> atom_in_ring_;
+  std::vector<bool> bond_in_ring_;
+  std::vector<int> h_count_;
+  int ring_count_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace impeccable::chem

@@ -1,0 +1,80 @@
+#include "impeccable/chem/protonation.hpp"
+
+namespace impeccable::chem {
+
+namespace {
+
+/// Is atom i the hydroxyl oxygen of a carboxylic acid? (O with H, single-
+/// bonded to a carbon that also carries a double-bonded O.)
+bool is_carboxyl_hydroxyl(const Molecule& mol, int i) {
+  const Atom& a = mol.atom(i);
+  if (a.element != Element::O || a.aromatic || a.formal_charge != 0) return false;
+  if (mol.hydrogen_count(i) < 1 || mol.degree(i) != 1) return false;
+  const int carbon = mol.neighbors(i).front();
+  if (mol.atom(carbon).element != Element::C) return false;
+  for (int bi : mol.bonds_of(carbon)) {
+    const int nb = mol.neighbor(carbon, bi);
+    if (nb == i) continue;
+    if (mol.atom(nb).element == Element::O && mol.bond(bi).order == 2)
+      return true;
+  }
+  return false;
+}
+
+/// Is atom i a basic aliphatic amine nitrogen? (non-aromatic N with >= 1 H,
+/// not adjacent to a carbonyl carbon — amides are not basic — and not bonded
+/// to an aromatic atom — anilines are weak bases.)
+bool is_basic_amine(const Molecule& mol, int i) {
+  const Atom& a = mol.atom(i);
+  if (a.element != Element::N || a.aromatic || a.formal_charge != 0) return false;
+  if (mol.hydrogen_count(i) < 1) return false;
+  for (int bi : mol.bonds_of(i)) {
+    if (mol.bond(bi).order != 1) return false;  // nitriles, imines
+    const int nb = mol.neighbor(i, bi);
+    if (mol.atom(nb).aromatic) return false;  // aniline-like
+    if (mol.atom(nb).element == Element::C) {
+      for (int bj : mol.bonds_of(nb)) {
+        const int nn = mol.neighbor(nb, bj);
+        if (nn != i && mol.atom(nn).element == Element::O &&
+            mol.bond(bj).order == 2)
+          return false;  // amide
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::pair<int, int> ionizable_sites(const Molecule& mol) {
+  int acids = 0, bases = 0;
+  for (int i = 0; i < mol.atom_count(); ++i) {
+    if (is_carboxyl_hydroxyl(mol, i)) ++acids;
+    if (is_basic_amine(mol, i)) ++bases;
+  }
+  return {acids, bases};
+}
+
+Molecule protonate_for_ph(const Molecule& mol, double ph,
+                          const ProtonationRules& rules) {
+  Molecule out;
+  for (int i = 0; i < mol.atom_count(); ++i) {
+    Atom a = mol.atom(i);
+    if (ph > rules.carboxyl_pka && is_carboxyl_hydroxyl(mol, i)) {
+      a.formal_charge = -1;
+      a.explicit_h = 0;
+    } else if (ph < rules.amine_pka && is_basic_amine(mol, i)) {
+      a.formal_charge = 1;
+      a.explicit_h = mol.hydrogen_count(i) + 1;
+    }
+    out.add_atom(a);
+  }
+  for (int b = 0; b < mol.bond_count(); ++b) {
+    const Bond& bond = mol.bond(b);
+    out.add_bond(bond.a, bond.b, bond.order, bond.aromatic);
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace impeccable::chem

@@ -1,0 +1,31 @@
+#pragma once
+// Ligand preparation: pH-dependent protonation states.
+//
+// Docking inputs are prepared at physiological pH — carboxylic acids and
+// similar acids deprotonate, aliphatic amines protonate. This is the
+// "ready-to-dock" preparation step the paper's libraries come with ("ZINC
+// providing over 230 million purchasable compounds in ready-to-dock, 3D
+// formats", Sec. 7.1); our generator emits neutral molecules that this pass
+// converts. Simple pKa rules, the standard fast-prep approximation:
+//
+//   carboxylic acid  C(=O)OH   pKa ~4.2  -> C(=O)[O-]   at pH > pKa
+//   aliphatic amine  N(H2/H1)  pKa ~10.6 -> [NH3+]/...  at pH < pKa
+//   (aromatic N, amides, anilines are left untouched)
+
+#include "impeccable/chem/molecule.hpp"
+
+namespace impeccable::chem {
+
+struct ProtonationRules {
+  double carboxyl_pka = 4.2;
+  double amine_pka = 10.6;
+};
+
+/// Return a copy of `mol` protonated for the given pH.
+Molecule protonate_for_ph(const Molecule& mol, double ph = 7.4,
+                          const ProtonationRules& rules = {});
+
+/// Count of (acidic, basic) sites the rules would transform at pH 7.4.
+std::pair<int, int> ionizable_sites(const Molecule& mol);
+
+}  // namespace impeccable::chem

@@ -1,0 +1,67 @@
+#include "impeccable/chem/scaffold.hpp"
+
+#include <vector>
+
+#include "impeccable/chem/smiles.hpp"
+
+namespace impeccable::chem {
+
+Molecule murcko_scaffold(const Molecule& mol) {
+  const int n = mol.atom_count();
+  std::vector<bool> kept(static_cast<std::size_t>(n), true);
+
+  // Iteratively prune non-ring atoms that have at most one kept neighbour.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      if (!kept[static_cast<std::size_t>(i)]) continue;
+      if (mol.atom_in_ring(i)) continue;
+      int kept_neighbours = 0;
+      for (int nb : mol.neighbors(i))
+        if (kept[static_cast<std::size_t>(nb)]) ++kept_neighbours;
+      if (kept_neighbours <= 1) {
+        kept[static_cast<std::size_t>(i)] = false;
+        changed = true;
+      }
+    }
+  }
+
+  Molecule scaffold;
+  std::vector<int> where(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    if (!kept[static_cast<std::size_t>(i)]) continue;
+    Atom a = mol.atom(i);
+    // Hydrogen counts are re-derived on the pruned graph, except aromatic
+    // N/P whose [nH] marker is structural.
+    if (!(a.aromatic &&
+          (a.element == Element::N || a.element == Element::P)))
+      a.explicit_h = -1;
+    where[static_cast<std::size_t>(i)] = scaffold.add_atom(a);
+  }
+  for (int b = 0; b < mol.bond_count(); ++b) {
+    const Bond& bond = mol.bond(b);
+    if (kept[static_cast<std::size_t>(bond.a)] &&
+        kept[static_cast<std::size_t>(bond.b)])
+      scaffold.add_bond(where[static_cast<std::size_t>(bond.a)],
+                        where[static_cast<std::size_t>(bond.b)], bond.order,
+                        bond.aromatic);
+  }
+  scaffold.finalize();
+  return scaffold;
+}
+
+std::string scaffold_smiles(const Molecule& mol) {
+  const Molecule scaffold = murcko_scaffold(mol);
+  if (scaffold.atom_count() == 0) return "";
+  return write_smiles(scaffold);
+}
+
+std::map<std::string, int> scaffold_census(const CompoundLibrary& library) {
+  std::map<std::string, int> census;
+  for (const auto& entry : library.entries)
+    ++census[scaffold_smiles(parse_smiles(entry.smiles))];
+  return census;
+}
+
+}  // namespace impeccable::chem

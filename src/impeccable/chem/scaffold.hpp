@@ -1,0 +1,27 @@
+#pragma once
+// Murcko scaffold extraction — ring systems plus the linkers that connect
+// them, with all side chains stripped. The standard chemotype notion behind
+// "structurally most diverse compounds" (Sec. 7.1.2): campaigns report hit
+// diversity as the number of distinct scaffolds, not raw compounds.
+
+#include <map>
+#include <string>
+
+#include "impeccable/chem/library.hpp"
+#include "impeccable/chem/molecule.hpp"
+
+namespace impeccable::chem {
+
+/// The Bemis–Murcko scaffold of a molecule: iteratively prune terminal
+/// atoms that are not part of a ring or of a ring-ring linker. Returns an
+/// empty (0-atom) molecule for acyclic inputs.
+Molecule murcko_scaffold(const Molecule& mol);
+
+/// Canonical SMILES of the scaffold; "" for acyclic molecules.
+std::string scaffold_smiles(const Molecule& mol);
+
+/// Histogram of scaffolds over a library: scaffold SMILES -> count.
+/// Acyclic compounds are grouped under "".
+std::map<std::string, int> scaffold_census(const CompoundLibrary& library);
+
+}  // namespace impeccable::chem

@@ -1,0 +1,485 @@
+#include "impeccable/chem/smiles.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+namespace impeccable::chem {
+namespace {
+
+struct PendingRing {
+  int atom = -1;
+  int order = 0;       // 0 = unspecified
+  bool aromatic_bond = false;
+};
+
+struct ParserState {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const { throw SmilesError(msg, pos); }
+  bool done() const { return pos >= s.size(); }
+  char peek() const { return done() ? '\0' : s[pos]; }
+  char take() { return s[pos++]; }
+};
+
+/// Parses one bracket atom body (after '['), consuming up to and incl. ']'.
+Atom parse_bracket_atom(ParserState& st) {
+  Atom atom;
+  // Optional isotope number — accepted and ignored.
+  while (std::isdigit(static_cast<unsigned char>(st.peek()))) st.take();
+
+  // Element symbol: one uppercase + optional lowercase, or aromatic lowercase.
+  char c = st.peek();
+  if (c == '\0') st.fail("unterminated bracket atom");
+  if (std::islower(static_cast<unsigned char>(c))) {
+    st.take();
+    const std::string sym(1, static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    auto e = element_from_symbol(sym);
+    if (!e || !can_be_aromatic(*e)) st.fail("bad aromatic element in bracket");
+    atom.element = *e;
+    atom.aromatic = true;
+  } else if (std::isupper(static_cast<unsigned char>(c))) {
+    std::string sym(1, st.take());
+    if (std::islower(static_cast<unsigned char>(st.peek()))) {
+      std::string two = sym + st.peek();
+      if (element_from_symbol(two)) {
+        sym = two;
+        st.take();
+      }
+    }
+    auto e = element_from_symbol(sym);
+    if (!e) st.fail("unknown element '" + sym + "'");
+    atom.element = *e;
+  } else {
+    st.fail("expected element symbol in bracket");
+  }
+
+  // Chirality markers — accepted and ignored.
+  while (st.peek() == '@') st.take();
+  if (st.peek() == 'T' || st.peek() == 'A' || st.peek() == 'S') {
+    // @TH1/@AL1/@SP1-style tags: skip alnum run.
+    while (std::isalnum(static_cast<unsigned char>(st.peek()))) st.take();
+  }
+
+  // Explicit hydrogen count.
+  atom.explicit_h = 0;
+  if (st.peek() == 'H') {
+    st.take();
+    atom.explicit_h = 1;
+    if (std::isdigit(static_cast<unsigned char>(st.peek())))
+      atom.explicit_h = st.take() - '0';
+  }
+
+  // Formal charge: +, -, ++, --, +2, -2 ...
+  if (st.peek() == '+' || st.peek() == '-') {
+    const int sign = st.take() == '+' ? 1 : -1;
+    int magnitude = 1;
+    if (std::isdigit(static_cast<unsigned char>(st.peek()))) {
+      magnitude = st.take() - '0';
+    } else {
+      while (st.peek() == (sign > 0 ? '+' : '-')) {
+        st.take();
+        ++magnitude;
+      }
+    }
+    atom.formal_charge = sign * magnitude;
+  }
+
+  if (st.peek() != ']') st.fail("expected ']'");
+  st.take();
+  return atom;
+}
+
+/// Parses an organic-subset atom (no brackets). Returns nullopt if the next
+/// characters do not begin an atom.
+std::optional<Atom> parse_plain_atom(ParserState& st) {
+  const char c = st.peek();
+  Atom atom;
+  if (std::isupper(static_cast<unsigned char>(c))) {
+    std::string sym(1, c);
+    // Two-letter organic subset: Cl, Br.
+    if ((c == 'C' || c == 'B') && st.pos + 1 < st.s.size()) {
+      const char d = st.s[st.pos + 1];
+      if ((c == 'C' && d == 'l') || (c == 'B' && d == 'r')) sym += d;
+    }
+    auto e = element_from_symbol(sym);
+    if (!e) return std::nullopt;
+    st.pos += sym.size();
+    atom.element = *e;
+    return atom;
+  }
+  if (std::islower(static_cast<unsigned char>(c))) {
+    const std::string sym(1, static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    auto e = element_from_symbol(sym);
+    if (!e || !can_be_aromatic(*e)) return std::nullopt;
+    st.take();
+    atom.element = *e;
+    atom.aromatic = true;
+    return atom;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Molecule parse_smiles(std::string_view smiles) {
+  ParserState st{smiles};
+  Molecule mol;
+
+  std::vector<int> branch_stack;
+  std::map<int, PendingRing> rings;  // ring-closure number -> first endpoint
+  int prev_atom = -1;
+  int pending_order = 0;        // 0 = default
+  bool pending_aromatic = false;
+  bool pending_bond_set = false;
+
+  auto attach = [&](int new_atom) {
+    if (prev_atom >= 0) {
+      bool arom = pending_bond_set
+                      ? pending_aromatic
+                      : (mol.atom(prev_atom).aromatic && mol.atom(new_atom).aromatic);
+      int order = pending_bond_set && !pending_aromatic && pending_order > 0
+                      ? pending_order
+                      : 1;
+      mol.add_bond(prev_atom, new_atom, order, arom);
+    }
+    prev_atom = new_atom;
+    pending_order = 0;
+    pending_aromatic = false;
+    pending_bond_set = false;
+  };
+
+  auto handle_ring = [&](int number) {
+    auto it = rings.find(number);
+    if (it == rings.end()) {
+      rings[number] = PendingRing{prev_atom, pending_bond_set ? pending_order : 0,
+                                  pending_bond_set && pending_aromatic};
+    } else {
+      const PendingRing open = it->second;
+      rings.erase(it);
+      if (open.atom == prev_atom) st.fail("ring closure to same atom");
+      // Bond type may be given at either end; they must not conflict.
+      int order = 1;
+      bool arom = mol.atom(open.atom).aromatic && mol.atom(prev_atom).aromatic;
+      if (open.order > 0) { order = open.order; arom = false; }
+      if (pending_bond_set && pending_order > 0) { order = pending_order; arom = false; }
+      if (open.aromatic_bond || (pending_bond_set && pending_aromatic)) {
+        order = 1;
+        arom = true;
+      }
+      mol.add_bond(open.atom, prev_atom, order, arom);
+    }
+    pending_order = 0;
+    pending_aromatic = false;
+    pending_bond_set = false;
+  };
+
+  while (!st.done()) {
+    const char c = st.peek();
+    if (c == '(') {
+      st.take();
+      if (prev_atom < 0) st.fail("branch before any atom");
+      branch_stack.push_back(prev_atom);
+    } else if (c == ')') {
+      st.take();
+      if (branch_stack.empty()) st.fail("unmatched ')'");
+      prev_atom = branch_stack.back();
+      branch_stack.pop_back();
+    } else if (c == '-') {
+      st.take();
+      pending_order = 1; pending_aromatic = false; pending_bond_set = true;
+    } else if (c == '=') {
+      st.take();
+      pending_order = 2; pending_aromatic = false; pending_bond_set = true;
+    } else if (c == '#') {
+      st.take();
+      pending_order = 3; pending_aromatic = false; pending_bond_set = true;
+    } else if (c == ':') {
+      st.take();
+      pending_order = 1; pending_aromatic = true; pending_bond_set = true;
+    } else if (c == '/' || c == '\\') {
+      st.take();  // stereo bond direction: treat as single
+      pending_order = 1; pending_aromatic = false; pending_bond_set = true;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      st.take();
+      if (prev_atom < 0) st.fail("ring closure before any atom");
+      handle_ring(c - '0');
+    } else if (c == '%') {
+      st.take();
+      if (st.done() || !std::isdigit(static_cast<unsigned char>(st.peek())))
+        st.fail("expected two digits after '%'");
+      int num = st.take() - '0';
+      if (st.done() || !std::isdigit(static_cast<unsigned char>(st.peek())))
+        st.fail("expected two digits after '%'");
+      num = num * 10 + (st.take() - '0');
+      if (prev_atom < 0) st.fail("ring closure before any atom");
+      handle_ring(num);
+    } else if (c == '[') {
+      st.take();
+      const int idx = mol.add_atom(parse_bracket_atom(st));
+      attach(idx);
+    } else if (c == '.') {
+      st.fail("disconnected fragments are not supported");
+    } else {
+      auto atom = parse_plain_atom(st);
+      if (!atom) st.fail(std::string("unexpected character '") + c + "'");
+      const int idx = mol.add_atom(*atom);
+      attach(idx);
+    }
+  }
+
+  if (!branch_stack.empty()) st.fail("unmatched '('");
+  if (!rings.empty()) st.fail("unclosed ring bond");
+  if (mol.atom_count() == 0) st.fail("empty SMILES");
+
+  mol.finalize();
+  return mol;
+}
+
+namespace {
+
+/// Canonical atom ranks via iterative refinement of invariants.
+std::vector<int> canonical_ranks(const Molecule& mol) {
+  const int n = mol.atom_count();
+  // Initial invariant: (element, aromatic, degree, charge, H count).
+  std::vector<std::uint64_t> inv(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Atom& a = mol.atom(i);
+    inv[static_cast<std::size_t>(i)] =
+        (static_cast<std::uint64_t>(a.element) << 32) |
+        (static_cast<std::uint64_t>(a.aromatic) << 31) |
+        (static_cast<std::uint64_t>(mol.degree(i) & 0xf) << 24) |
+        (static_cast<std::uint64_t>((a.formal_charge + 8) & 0xf) << 20) |
+        (static_cast<std::uint64_t>(mol.hydrogen_count(i) & 0xf) << 16);
+  }
+
+  auto to_ranks = [n](const std::vector<std::uint64_t>& keys) {
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return keys[static_cast<std::size_t>(a)] < keys[static_cast<std::size_t>(b)];
+    });
+    std::vector<int> rank(static_cast<std::size_t>(n));
+    int r = 0;
+    for (int k = 0; k < n; ++k) {
+      if (k > 0 && keys[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] !=
+                       keys[static_cast<std::size_t>(order[static_cast<std::size_t>(k - 1)])])
+        ++r;
+      rank[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = r;
+    }
+    return rank;
+  };
+
+  std::vector<int> rank = to_ranks(inv);
+  for (int iter = 0; iter < n; ++iter) {
+    // Refine: new key = (old rank, sorted multiset of neighbor ranks).
+    std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> nb;
+      for (int a : mol.neighbors(i)) nb.push_back(rank[static_cast<std::size_t>(a)]);
+      std::sort(nb.begin(), nb.end());
+      std::uint64_t h = static_cast<std::uint64_t>(rank[static_cast<std::size_t>(i)]) + 1469598103934665603ULL;
+      for (int r : nb) {
+        h ^= static_cast<std::uint64_t>(r) + 0x9e3779b9;
+        h *= 1099511628211ULL;
+      }
+      keys[static_cast<std::size_t>(i)] = h;
+    }
+    std::vector<int> next = to_ranks(keys);
+    // Preserve old ordering as the primary key to keep refinement monotone.
+    std::vector<std::uint64_t> combined(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      combined[static_cast<std::size_t>(i)] =
+          (static_cast<std::uint64_t>(rank[static_cast<std::size_t>(i)]) << 32) |
+          static_cast<std::uint64_t>(next[static_cast<std::size_t>(i)]);
+    next = to_ranks(combined);
+    if (next == rank) break;
+    rank = std::move(next);
+  }
+  return rank;
+}
+
+struct Writer {
+  const Molecule& mol;
+  const std::vector<int>& rank;
+  std::string out;
+  std::vector<bool> visited;
+  std::vector<std::vector<std::pair<int, int>>> ring_digits;  // atom -> (digit, order)
+  int next_ring_digit = 1;
+
+  explicit Writer(const Molecule& m, const std::vector<int>& r)
+      : mol(m), rank(r),
+        visited(static_cast<std::size_t>(m.atom_count()), false),
+        ring_digits(static_cast<std::size_t>(m.atom_count())) {}
+
+  void write_atom(int i) {
+    const Atom& a = mol.atom(i);
+    std::string sym(symbol(a.element));
+    if (a.aromatic)
+      std::transform(sym.begin(), sym.end(), sym.begin(),
+                     [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+
+    const bool organic_subset =
+        a.formal_charge == 0 && a.explicit_h < 0 &&
+        a.element != Element::B;
+    // Aromatic N with an H must be written [nH] to round-trip correctly.
+    const bool needs_h_marker =
+        a.aromatic && (a.element == Element::N || a.element == Element::P) &&
+        mol.hydrogen_count(i) > 0;
+
+    if (organic_subset && !needs_h_marker) {
+      out += sym;
+      return;
+    }
+    out += '[';
+    out += sym;
+    const int h = mol.hydrogen_count(i);
+    if (h > 0) {
+      out += 'H';
+      if (h > 1) out += std::to_string(h);
+    }
+    if (a.formal_charge > 0) {
+      out += '+';
+      if (a.formal_charge > 1) out += std::to_string(a.formal_charge);
+    } else if (a.formal_charge < 0) {
+      out += '-';
+      if (a.formal_charge < -1) out += std::to_string(-a.formal_charge);
+    }
+    out += ']';
+  }
+
+  void write_bond_symbol(const Bond& b, int from, int to) {
+    if (b.aromatic) return;  // implicit between aromatic atoms
+    switch (b.order) {
+      case 2: out += '='; break;
+      case 3: out += '#'; break;
+      default:
+        // A single bond between two aromatic atoms (biphenyl-style link)
+        // must be written explicitly or it would read back as aromatic.
+        if (mol.atom(from).aromatic && mol.atom(to).aromatic) out += '-';
+        break;
+    }
+  }
+
+  void dfs(int atom, int from_bond) {
+    visited[static_cast<std::size_t>(atom)] = true;
+    write_atom(atom);
+    for (auto [digit, order] : ring_digits[static_cast<std::size_t>(atom)]) {
+      if (order == 2) out += '=';
+      else if (order == 3) out += '#';
+      if (digit >= 10) { out += '%'; out += std::to_string(digit); }
+      else out += static_cast<char>('0' + digit);
+    }
+
+    // Deterministic child order: canonical rank.
+    std::vector<int> edges;
+    for (int bi : mol.bonds_of(atom))
+      if (bi != from_bond) edges.push_back(bi);
+    std::sort(edges.begin(), edges.end(), [&](int x, int y) {
+      return rank[static_cast<std::size_t>(mol.neighbor(atom, x))] <
+             rank[static_cast<std::size_t>(mol.neighbor(atom, y))];
+    });
+
+    // Tree edges to recurse into. Ring-closure digits were assigned by the
+    // pre-pass in write_smiles(); back edges (target already visited at
+    // exploration time) are skipped here — their digits are emitted with the
+    // endpoint atoms above.
+    std::vector<int> tree_edges;
+    for (int bi : edges)
+      if (!visited[static_cast<std::size_t>(mol.neighbor(atom, bi))])
+        tree_edges.push_back(bi);
+
+    // A sibling subtree may claim a prospective child first; re-check at
+    // exploration time so the traversal matches the pre-pass exactly.
+    for (std::size_t k = 0; k < tree_edges.size(); ++k) {
+      const int bi = tree_edges[k];
+      const int to = mol.neighbor(atom, bi);
+      if (visited[static_cast<std::size_t>(to)]) continue;
+      const bool branch = k + 1 < tree_edges.size();
+      if (branch) out += '(';
+      write_bond_symbol(mol.bond(bi), atom, to);
+      dfs(to, bi);
+      if (branch) out += ')';
+    }
+  }
+};
+
+}  // namespace
+
+std::string write_smiles(const Molecule& mol) {
+  if (!mol.finalized())
+    throw std::invalid_argument("write_smiles: molecule not finalized");
+  if (mol.atom_count() == 0) return "";
+  if (!mol.connected())
+    throw std::invalid_argument("write_smiles: disconnected molecule");
+
+  const std::vector<int> rank = canonical_ranks(mol);
+
+  // Pre-pass: find the spanning tree from the canonical root and assign ring
+  // closure digits to the back edges, recording them at both endpoints.
+  int root = 0;
+  for (int i = 1; i < mol.atom_count(); ++i)
+    if (rank[static_cast<std::size_t>(i)] < rank[static_cast<std::size_t>(root)]) root = i;
+
+  Writer w(mol, rank);
+
+  // Deterministic DFS mirroring Writer::dfs to discover back edges.
+  {
+    std::vector<bool> seen(static_cast<std::size_t>(mol.atom_count()), false);
+    std::vector<bool> bond_used(static_cast<std::size_t>(mol.bond_count()), false);
+    // Explicit stack of (atom, sorted edges, next index) replicating the
+    // recursive traversal in Writer::dfs.
+    std::vector<std::tuple<int, std::vector<int>, std::size_t>> stack;
+    auto sorted_edges = [&](int atom, int from_bond) {
+      std::vector<int> es;
+      for (int bi : mol.bonds_of(atom))
+        if (bi != from_bond) es.push_back(bi);
+      std::sort(es.begin(), es.end(), [&](int x, int y) {
+        return rank[static_cast<std::size_t>(mol.neighbor(atom, x))] <
+               rank[static_cast<std::size_t>(mol.neighbor(atom, y))];
+      });
+      return es;
+    };
+    seen[static_cast<std::size_t>(root)] = true;
+    stack.emplace_back(root, sorted_edges(root, -1), 0);
+    while (!stack.empty()) {
+      auto& [atom, edges, next] = stack.back();
+      if (next >= edges.size()) {
+        stack.pop_back();
+        continue;
+      }
+      const int bi = edges[next++];
+      if (bond_used[static_cast<std::size_t>(bi)]) continue;
+      const int to = mol.neighbor(atom, bi);
+      if (seen[static_cast<std::size_t>(to)]) {
+        // Back edge -> ring closure digit at both endpoints.
+        bond_used[static_cast<std::size_t>(bi)] = true;
+        const int digit = w.next_ring_digit++;
+        const Bond& b = mol.bond(bi);
+        const int order_symbol = b.aromatic ? 0 : (b.order >= 2 ? b.order : 0);
+        // Emit the bond-order symbol only at the opening end to avoid
+        // duplicated '=' on both digits.
+        w.ring_digits[static_cast<std::size_t>(atom)].emplace_back(digit, order_symbol);
+        w.ring_digits[static_cast<std::size_t>(to)].emplace_back(digit, 0);
+      } else {
+        bond_used[static_cast<std::size_t>(bi)] = true;
+        seen[static_cast<std::size_t>(to)] = true;
+        stack.emplace_back(to, sorted_edges(to, bi), 0);
+      }
+    }
+  }
+
+  w.dfs(root, -1);
+  return w.out;
+}
+
+std::string canonical_smiles(std::string_view smiles) {
+  return write_smiles(parse_smiles(smiles));
+}
+
+}  // namespace impeccable::chem

@@ -1,0 +1,47 @@
+#pragma once
+// SMILES reader/writer.
+//
+// The pipeline's interchange format: compound libraries are SMILES lists
+// (Section 3, "a database of molecules to dock in SMILES format"). We support
+// the organic subset plus bracket atoms — enough to round-trip everything the
+// library generator emits and typical drug-like strings:
+//
+//   atoms      B C N O P S F Cl Br I, aromatic b c n o p s, bracket atoms
+//              with charge and H-count ([NH3+], [O-], [nH])
+//   bonds      - = # : (aromatic), default single/aromatic
+//   branches   ( ... )
+//   rings      digits 1-9, %NN two-digit closures, with optional bond symbol
+//   dots       disconnected fragments are rejected (docking needs one ligand)
+//
+// Stereochemistry (/ \ @) and isotopes are accepted and ignored, matching the
+// coarse geometric level of the substituted engines.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "impeccable/chem/molecule.hpp"
+
+namespace impeccable::chem {
+
+class SmilesError : public std::runtime_error {
+ public:
+  SmilesError(const std::string& msg, std::size_t pos)
+      : std::runtime_error(msg + " (at position " + std::to_string(pos) + ")"),
+        position(pos) {}
+  std::size_t position;
+};
+
+/// Parse a SMILES string into a finalized Molecule. Throws SmilesError.
+Molecule parse_smiles(std::string_view smiles);
+
+/// Write a canonical SMILES for the molecule. Canonical atom ranks come from
+/// iterative invariant refinement (Morgan-style), so isomorphic graphs yield
+/// identical strings: write(parse(s1)) == write(parse(s2)) whenever s1 and s2
+/// denote the same molecule.
+std::string write_smiles(const Molecule& mol);
+
+/// Convenience: parse-then-write canonicalization.
+std::string canonical_smiles(std::string_view smiles);
+
+}  // namespace impeccable::chem

@@ -1,0 +1,139 @@
+#include "impeccable/chem/substructure.hpp"
+
+#include <algorithm>
+
+#include "impeccable/chem/smiles.hpp"
+
+namespace impeccable::chem {
+
+namespace {
+
+bool atoms_compatible(const Molecule& mol, int mi, const Molecule& query, int qi) {
+  const Atom& a = mol.atom(mi);
+  const Atom& q = query.atom(qi);
+  if (a.element != q.element) return false;
+  if (a.aromatic != q.aromatic) return false;
+  // The molecule atom must offer at least the query's connectivity.
+  return mol.degree(mi) >= query.degree(qi);
+}
+
+bool bonds_compatible(const Bond& mb, const Bond& qb) {
+  if (qb.aromatic != mb.aromatic) return false;
+  if (!qb.aromatic && qb.order != mb.order) return false;
+  return true;
+}
+
+struct Matcher {
+  const Molecule& mol;
+  const Molecule& query;
+  std::size_t max_matches;
+  std::vector<int> q_to_m;   ///< query atom -> molecule atom (-1 unmapped)
+  std::vector<bool> m_used;
+  std::vector<std::vector<int>> matches;
+  /// Query atoms in a connectivity-respecting order: after the first, every
+  /// atom has at least one earlier neighbour (makes pruning effective).
+  std::vector<int> order;
+
+  Matcher(const Molecule& m, const Molecule& q, std::size_t cap)
+      : mol(m), query(q), max_matches(cap),
+        q_to_m(static_cast<std::size_t>(q.atom_count()), -1),
+        m_used(static_cast<std::size_t>(m.atom_count()), false) {
+    std::vector<bool> placed(static_cast<std::size_t>(q.atom_count()), false);
+    // BFS from atom 0 per connected component (queries are connected since
+    // parse_smiles rejects dot-fragments).
+    std::vector<int> frontier{0};
+    placed[0] = true;
+    order.push_back(0);
+    while (!frontier.empty()) {
+      const int cur = frontier.front();
+      frontier.erase(frontier.begin());
+      for (int nb : q.neighbors(cur)) {
+        if (!placed[static_cast<std::size_t>(nb)]) {
+          placed[static_cast<std::size_t>(nb)] = true;
+          order.push_back(nb);
+          frontier.push_back(nb);
+        }
+      }
+    }
+  }
+
+  bool extend(std::size_t depth) {
+    if (depth == order.size()) {
+      matches.push_back(q_to_m);
+      return matches.size() >= max_matches;
+    }
+    const int qi = order[depth];
+
+    // Candidates: neighbours of an already-mapped query neighbour (or any
+    // atom for the root).
+    std::vector<int> candidates;
+    int anchor_q = -1;
+    for (int nb : query.neighbors(qi)) {
+      if (q_to_m[static_cast<std::size_t>(nb)] != -1) {
+        anchor_q = nb;
+        break;
+      }
+    }
+    if (anchor_q == -1) {
+      candidates.resize(static_cast<std::size_t>(mol.atom_count()));
+      for (int i = 0; i < mol.atom_count(); ++i)
+        candidates[static_cast<std::size_t>(i)] = i;
+    } else {
+      candidates = mol.neighbors(q_to_m[static_cast<std::size_t>(anchor_q)]);
+    }
+
+    for (int mi : candidates) {
+      if (m_used[static_cast<std::size_t>(mi)]) continue;
+      if (!atoms_compatible(mol, mi, query, qi)) continue;
+      // Every bond from qi to an already-mapped query atom must exist in the
+      // molecule with a compatible type.
+      bool ok = true;
+      for (int qb : query.bonds_of(qi)) {
+        const int qnb = query.neighbor(qi, qb);
+        const int mapped = q_to_m[static_cast<std::size_t>(qnb)];
+        if (mapped == -1) continue;
+        const int mb = mol.bond_between(mi, mapped);
+        if (mb < 0 || !bonds_compatible(mol.bond(mb), query.bond(qb))) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+
+      q_to_m[static_cast<std::size_t>(qi)] = mi;
+      m_used[static_cast<std::size_t>(mi)] = true;
+      const bool done = extend(depth + 1);
+      q_to_m[static_cast<std::size_t>(qi)] = -1;
+      m_used[static_cast<std::size_t>(mi)] = false;
+      if (done) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> find_substructures(const Molecule& mol,
+                                                 const Molecule& query,
+                                                 std::size_t max_matches) {
+  if (query.atom_count() == 0 || query.atom_count() > mol.atom_count())
+    return {};
+  Matcher matcher(mol, query, max_matches);
+  matcher.extend(0);
+  return std::move(matcher.matches);
+}
+
+bool has_substructure(const Molecule& mol, const Molecule& query) {
+  return !find_substructures(mol, query, 1).empty();
+}
+
+bool has_substructure(const Molecule& mol, std::string_view query_smiles) {
+  return has_substructure(mol, parse_smiles(query_smiles));
+}
+
+std::size_t count_substructures(const Molecule& mol, const Molecule& query,
+                                std::size_t cap) {
+  return find_substructures(mol, query, cap).size();
+}
+
+}  // namespace impeccable::chem

@@ -1,0 +1,29 @@
+#pragma once
+// Substructure matching: subgraph isomorphism of one molecular graph inside
+// another (VF2-style backtracking). Queries are ordinary SMILES; atoms match
+// on element + aromaticity, bonds on aromaticity + order. This powers
+// medicinal-chemistry filters (reactive-group removal, motif counting) of
+// the kind production screening libraries apply before docking.
+
+#include <string_view>
+#include <vector>
+
+#include "impeccable/chem/molecule.hpp"
+
+namespace impeccable::chem {
+
+/// True if `query` occurs as a (node-induced-edge-compatible) subgraph.
+bool has_substructure(const Molecule& mol, const Molecule& query);
+bool has_substructure(const Molecule& mol, std::string_view query_smiles);
+
+/// All distinct matches, each a query->molecule atom index map, up to
+/// `max_matches` (automorphic duplicates of the query count separately).
+std::vector<std::vector<int>> find_substructures(const Molecule& mol,
+                                                 const Molecule& query,
+                                                 std::size_t max_matches = 64);
+
+/// Number of matches (capped at `cap`).
+std::size_t count_substructures(const Molecule& mol, const Molecule& query,
+                                std::size_t cap = 64);
+
+}  // namespace impeccable::chem

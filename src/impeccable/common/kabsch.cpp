@@ -1,0 +1,124 @@
+#include "impeccable/common/kabsch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace impeccable::common {
+namespace {
+
+/// Jacobi eigen-decomposition of a symmetric 4x4 matrix.
+/// Returns the eigenvector of the largest eigenvalue.
+std::array<double, 4> max_eigenvector4(std::array<std::array<double, 4>, 4> m) {
+  std::array<std::array<double, 4>, 4> v{};
+  for (int i = 0; i < 4; ++i) v[i][i] = 1.0;
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < 4; ++p)
+      for (int q = p + 1; q < 4; ++q) off += m[p][q] * m[p][q];
+    if (off < 1e-24) break;
+    for (int p = 0; p < 4; ++p) {
+      for (int q = p + 1; q < 4; ++q) {
+        if (std::abs(m[p][q]) < 1e-18) continue;
+        const double theta = (m[q][q] - m[p][p]) / (2.0 * m[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation to m and accumulate in v.
+        for (int k = 0; k < 4; ++k) {
+          const double mkp = m[k][p], mkq = m[k][q];
+          m[k][p] = c * mkp - s * mkq;
+          m[k][q] = s * mkp + c * mkq;
+        }
+        for (int k = 0; k < 4; ++k) {
+          const double mpk = m[p][k], mqk = m[q][k];
+          m[p][k] = c * mpk - s * mqk;
+          m[q][k] = s * mpk + c * mqk;
+        }
+        for (int k = 0; k < 4; ++k) {
+          const double vkp = v[k][p], vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  int best = 0;
+  for (int i = 1; i < 4; ++i)
+    if (m[i][i] > m[best][best]) best = i;
+  return {v[0][best], v[1][best], v[2][best], v[3][best]};
+}
+
+Vec3 centroid(std::span<const Vec3> pts) {
+  Vec3 c;
+  for (const auto& p : pts) c += p;
+  return c / static_cast<double>(pts.size());
+}
+
+}  // namespace
+
+double rmsd_raw(std::span<const Vec3> a, std::span<const Vec3> b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("rmsd_raw: size mismatch or empty");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += distance2(a[i], b[i]);
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+Superposition superpose(std::span<const Vec3> a, std::span<const Vec3> b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("superpose: size mismatch or empty");
+  Superposition out;
+  out.centroid_a = centroid(a);
+  out.centroid_b = centroid(b);
+
+  // Cross-covariance of centered coordinates.
+  double sxx = 0, sxy = 0, sxz = 0, syx = 0, syy = 0, syz = 0, szx = 0, szy = 0, szz = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Vec3 pa = a[i] - out.centroid_a;
+    const Vec3 pb = b[i] - out.centroid_b;
+    sxx += pb.x * pa.x; sxy += pb.x * pa.y; sxz += pb.x * pa.z;
+    syx += pb.y * pa.x; syy += pb.y * pa.y; syz += pb.y * pa.z;
+    szx += pb.z * pa.x; szy += pb.z * pa.y; szz += pb.z * pa.z;
+  }
+
+  // Horn's symmetric 4x4 key matrix; its top eigenvector is the optimal
+  // rotation quaternion (w, x, y, z).
+  std::array<std::array<double, 4>, 4> key{{
+      {sxx + syy + szz, syz - szy, szx - sxz, sxy - syx},
+      {syz - szy, sxx - syy - szz, sxy + syx, szx + sxz},
+      {szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy},
+      {sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz},
+  }};
+  const auto q = max_eigenvector4(key);
+  const double w = q[0], x = q[1], y = q[2], z = q[3];
+
+  out.rotation = {{
+      {w * w + x * x - y * y - z * z, 2 * (x * y - w * z), 2 * (x * z + w * y)},
+      {2 * (x * y + w * z), w * w - x * x + y * y - z * z, 2 * (y * z - w * x)},
+      {2 * (x * z - w * y), 2 * (y * z + w * x), w * w - x * x - y * y + z * z},
+  }};
+  out.translation = out.centroid_a;
+
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc += distance2(a[i], apply(out, b[i]));
+  out.rmsd = std::sqrt(acc / static_cast<double>(a.size()));
+  return out;
+}
+
+double rmsd_superposed(std::span<const Vec3> a, std::span<const Vec3> b) {
+  return superpose(a, b).rmsd;
+}
+
+Vec3 apply(const Superposition& s, const Vec3& p) {
+  const Vec3 c = p - s.centroid_b;
+  const auto& r = s.rotation;
+  return Vec3{r[0][0] * c.x + r[0][1] * c.y + r[0][2] * c.z,
+              r[1][0] * c.x + r[1][1] * c.y + r[1][2] * c.z,
+              r[2][0] * c.x + r[2][1] * c.y + r[2][2] * c.z} +
+         s.translation;
+}
+
+}  // namespace impeccable::common

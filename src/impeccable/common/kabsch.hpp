@@ -1,0 +1,39 @@
+#pragma once
+// Optimal rigid-body superposition (Kabsch/Horn) and RMSD.
+//
+// Used by: docking pose clustering (RMSD between final poses), the MD
+// trajectory analysis feeding Fig. 5B (per-frame RMSD to the starting
+// conformation) and the contact/stability metrics of S2.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "impeccable/common/vec3.hpp"
+
+namespace impeccable::common {
+
+/// Plain RMSD without superposition (poses already share a frame, as in
+/// docking where the receptor fixes the coordinate system).
+double rmsd_raw(std::span<const Vec3> a, std::span<const Vec3> b);
+
+/// Result of an optimal superposition of b onto a.
+struct Superposition {
+  std::array<std::array<double, 3>, 3> rotation{};  ///< row-major R
+  Vec3 translation;  ///< apply as: R*(x - centroid_b) + centroid_a
+  Vec3 centroid_a;
+  Vec3 centroid_b;
+  double rmsd = 0.0;  ///< RMSD after superposition
+};
+
+/// Horn's quaternion method: least-squares rotation + translation mapping
+/// point set `b` onto `a` (equal sizes required, size >= 1).
+Superposition superpose(std::span<const Vec3> a, std::span<const Vec3> b);
+
+/// Minimum RMSD between the two sets over all rigid transforms.
+double rmsd_superposed(std::span<const Vec3> a, std::span<const Vec3> b);
+
+/// Apply a computed superposition to an arbitrary point.
+Vec3 apply(const Superposition& s, const Vec3& p);
+
+}  // namespace impeccable::common

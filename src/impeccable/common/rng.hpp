@@ -1,0 +1,134 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every stochastic component in the library (library generation, genetic
+// algorithms, Langevin thermostats, neural-network initialization, data
+// splits) draws from an explicitly seeded Rng so that runs are reproducible
+// bit-for-bit across hosts. We deliberately avoid std::mt19937 +
+// std::*_distribution because libstdc++/libc++ distributions differ; the
+// generators and transforms below are fully specified.
+
+#include <cstdint>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace impeccable::common {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Passes BigCrush as a 64-bit mixer; recommended by Vigna for seeding.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x19eccab1eULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+    cached_gauss_valid_ = false;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Uses Lemire's unbiased multiply-shift.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    if (n == 0) return 0;
+    // Rejection loop to remove modulo bias.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform index in [0, n) as std::size_t.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(n));
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method (caches the second deviate).
+  double gauss() {
+    if (cached_gauss_valid_) {
+      cached_gauss_valid_ = false;
+      return cached_gauss_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gauss_ = v * m;
+    cached_gauss_valid_ = true;
+    return u * m;
+  }
+
+  /// Normal with given mean and standard deviation.
+  double gauss(double mean, double stddev) { return mean + stddev * gauss(); }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator; used to hand each parallel task
+  /// (GA run, MD replica, worker) its own stream from one campaign seed.
+  Rng spawn() {
+    std::uint64_t child_seed = next() ^ 0xd3adb33fcafef00dULL;
+    return Rng(child_seed);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double cached_gauss_ = 0.0;
+  bool cached_gauss_valid_ = false;
+};
+
+}  // namespace impeccable::common

@@ -1,0 +1,213 @@
+#include "impeccable/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "impeccable/common/rng.hpp"
+
+namespace impeccable::common {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(n - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double std_error(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  return stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  if (i + 1 >= xs.size()) return xs.back();
+  return xs[i] * (1.0 - frac) + xs[i + 1] * frac;
+}
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("pearson: size mismatch");
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+std::vector<double> ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return xs[i] < xs[j]; });
+  std::vector<double> rk(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank over the tie block [i, j]; ranks are 1-based.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) rk[order[k]] = avg;
+    i = j + 1;
+  }
+  return rk;
+}
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("spearman: size mismatch");
+  const std::vector<double> ra = ranks(a);
+  const std::vector<double> rb = ranks(b);
+  return pearson(ra, rb);
+}
+
+double bootstrap_std_error(std::span<const double> xs, int resamples,
+                           std::uint64_t seed) {
+  if (xs.size() < 2 || resamples < 2) return 0.0;
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) acc += xs[rng.index(xs.size())];
+    means.push_back(acc / static_cast<double>(xs.size()));
+  }
+  return stddev(means);
+}
+
+double block_average_error(std::span<const double> series) {
+  std::vector<double> blocks(series.begin(), series.end());
+  double best = std_error(blocks);
+  while (blocks.size() >= 4) {
+    std::vector<double> next;
+    next.reserve(blocks.size() / 2);
+    for (std::size_t i = 0; i + 1 < blocks.size(); i += 2)
+      next.push_back(0.5 * (blocks[i] + blocks[i + 1]));
+    blocks = std::move(next);
+    best = std::max(best, std_error(blocks));
+  }
+  return best;
+}
+
+Interval bootstrap_ci95(std::span<const double> xs, int resamples,
+                        std::uint64_t seed) {
+  if (xs.empty()) return {};
+  if (xs.size() == 1 || resamples < 2) return {xs[0], xs[0]};
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) acc += xs[rng.index(xs.size())];
+    means.push_back(acc / static_cast<double>(xs.size()));
+  }
+  return {percentile(means, 2.5), percentile(means, 97.5)};
+}
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  if (bins <= 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  long bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_center(int bin) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * w;
+}
+
+double Histogram::frequency(int bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_text(int bar_width) const {
+  std::ostringstream os;
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (int b = 0; b < bins(); ++b) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%10.3f  %8zu  ", bin_center(b), count(b));
+    os << buf;
+    const int len = static_cast<int>(
+        static_cast<double>(count(b)) / static_cast<double>(peak) * bar_width);
+    for (int i = 0; i < len; ++i) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::std_error() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace impeccable::common

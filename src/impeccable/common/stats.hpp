@@ -1,0 +1,101 @@
+#pragma once
+// Descriptive statistics used by the free-energy protocols (ensemble means,
+// bootstrap confidence intervals), the ML evaluation (rank correlations) and
+// the benchmark harnesses (histograms, percentiles).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace impeccable::common {
+
+double mean(std::span<const double> xs);
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+/// Standard error of the mean: stddev / sqrt(n); 0 for n < 2.
+double std_error(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// Pearson product-moment correlation; 0 if either side is constant.
+double pearson(std::span<const double> a, std::span<const double> b);
+
+/// Spearman rank correlation (average ranks for ties).
+double spearman(std::span<const double> a, std::span<const double> b);
+
+/// Ranks with ties averaged, 1-based (as used by Spearman).
+std::vector<double> ranks(std::span<const double> xs);
+
+/// Bootstrap estimate of the standard error of the mean.
+/// `resamples` resamples with replacement, seeded for reproducibility.
+double bootstrap_std_error(std::span<const double> xs, int resamples,
+                           std::uint64_t seed);
+
+/// Flyvbjerg–Petersen block averaging: standard error of the mean of a
+/// (possibly autocorrelated) time series, estimated as the maximum naive SEM
+/// over successive pairwise block-averaging levels. For i.i.d. data this
+/// approaches the plain SEM; for correlated MD observables it is larger.
+double block_average_error(std::span<const double> series);
+
+/// 95% bootstrap percentile confidence interval for the mean.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval bootstrap_ci95(std::span<const double> xs, int resamples,
+                        std::uint64_t seed);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so totals always equal the input size.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t count(int bin) const { return counts_[static_cast<std::size_t>(bin)]; }
+  std::size_t total() const { return total_; }
+  double bin_center(int bin) const;
+  double frequency(int bin) const;
+
+  /// Render an aligned text view (one row per bin with a bar), as printed by
+  /// the figure-reproduction benches.
+  std::string to_text(int bar_width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< unbiased; 0 for n < 2
+  double stddev() const;
+  double std_error() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace impeccable::common

@@ -1,0 +1,90 @@
+#include "impeccable/core/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace impeccable::core {
+
+namespace {
+
+constexpr const char* kHeader =
+    "id,smiles,surrogate_score,docked,dock_score,cg_done,cg_energy,cg_error,"
+    "fg_energies";
+
+}  // namespace
+
+void write_checkpoint(const CampaignReport& report, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("write_checkpoint: cannot open " + path);
+  f << kHeader << "\n";
+  for (const auto& [id, rec] : report.compounds) {
+    f << rec.id << ',' << rec.smiles << ',' << rec.surrogate_score << ','
+      << (rec.docked ? 1 : 0) << ',' << rec.dock_score << ','
+      << (rec.cg_done ? 1 : 0) << ',' << rec.cg_energy << ',' << rec.cg_error
+      << ',';
+    for (std::size_t k = 0; k < rec.fg_energies.size(); ++k) {
+      if (k) f << ';';
+      f << rec.fg_energies[k];
+    }
+    f << "\n";
+  }
+}
+
+std::map<std::string, CompoundRecord> read_checkpoint(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_checkpoint: cannot open " + path);
+  std::string line;
+  if (!std::getline(f, line) || line != kHeader)
+    throw std::runtime_error("read_checkpoint: bad header in " + path);
+
+  std::map<std::string, CompoundRecord> out;
+  std::size_t line_no = 1;
+  while (std::getline(f, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.size() < 8)
+      throw std::runtime_error("read_checkpoint: short row at line " +
+                               std::to_string(line_no));
+    try {
+      CompoundRecord rec;
+      rec.id = fields[0];
+      rec.smiles = fields[1];
+      rec.surrogate_score = std::stod(fields[2]);
+      rec.docked = fields[3] == "1";
+      rec.dock_score = std::stod(fields[4]);
+      rec.cg_done = fields[5] == "1";
+      rec.cg_energy = std::stod(fields[6]);
+      rec.cg_error = std::stod(fields[7]);
+      if (fields.size() > 8 && !fields[8].empty()) {
+        std::stringstream fg(fields[8]);
+        std::string e;
+        while (std::getline(fg, e, ';')) rec.fg_energies.push_back(std::stod(e));
+      }
+      out.emplace(rec.id, std::move(rec));
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_checkpoint: malformed row at line " +
+                               std::to_string(line_no));
+    }
+  }
+  return out;
+}
+
+void write_scores_csv(const std::vector<std::pair<std::string, double>>& scores,
+                      const std::map<std::string, std::string>& id_to_smiles,
+                      const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("write_scores_csv: cannot open " + path);
+  f << "id,smiles,score\n";
+  for (const auto& [id, score] : scores) {
+    const auto it = id_to_smiles.find(id);
+    f << id << ',' << (it == id_to_smiles.end() ? "" : it->second) << ','
+      << score << "\n";
+  }
+}
+
+}  // namespace impeccable::core

@@ -1,0 +1,124 @@
+#include "impeccable/dock/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "impeccable/common/kabsch.hpp"
+
+namespace impeccable::dock {
+
+DockResult dock(const AffinityGrid& grid, const chem::Molecule& mol,
+                const std::string& ligand_id, const DockOptions& opts) {
+  const Ligand ligand(mol, opts.conformer_seed);
+  const ScoringFunction score(grid, ligand);
+
+  struct RunOutput {
+    LgaResult lga;
+  };
+  std::vector<RunOutput> runs;
+  runs.reserve(static_cast<std::size_t>(opts.runs));
+
+  common::Rng base(opts.seed ^ std::hash<std::string>{}(ligand_id));
+  for (int r = 0; r < opts.runs; ++r) {
+    common::Rng run_rng = base.spawn();
+    runs.push_back({run_lga(score, run_rng, opts.lga)});
+  }
+
+  // Cluster final poses by heavy-atom RMSD (docking frame is fixed by the
+  // receptor, so no superposition — raw RMSD, as AutoDock does).
+  std::sort(runs.begin(), runs.end(), [](const RunOutput& a, const RunOutput& b) {
+    return a.lga.best_energy < b.lga.best_energy;
+  });
+
+  DockResult out;
+  out.ligand_id = ligand_id;
+  out.torsion_count = ligand.torsion_count();
+
+  for (const auto& run : runs) {
+    bool placed = false;
+    for (auto& cl : out.clusters) {
+      std::vector<common::Vec3> rep_coords;
+      ligand.build_coords(cl.representative, rep_coords);
+      if (common::rmsd_raw(rep_coords, run.lga.best_coords) < opts.cluster_rmsd) {
+        ++cl.members;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      PoseCluster cl;
+      cl.best_energy = run.lga.best_energy;
+      cl.members = 1;
+      cl.representative = run.lga.best_pose;
+      out.clusters.push_back(std::move(cl));
+    }
+    out.evaluations += run.lga.evaluations;
+  }
+
+  const auto& best = runs.front().lga;
+  out.best_score = best.best_energy;
+  out.best_pose = best.best_pose;
+  out.best_coords = best.best_coords;
+  return out;
+}
+
+DockResult dock_conformer_ensemble(const AffinityGrid& grid,
+                                   const chem::Molecule& mol,
+                                   const std::string& ligand_id,
+                                   int conformers, const DockOptions& opts,
+                                   std::vector<double>* conformer_scores) {
+  if (conformers < 1) conformers = 1;
+  if (conformer_scores) conformer_scores->clear();
+
+  DockResult best;
+  bool first = true;
+  std::uint64_t total_evals = 0;
+  for (int c = 0; c < conformers; ++c) {
+    DockOptions copts = opts;
+    copts.conformer_seed = opts.conformer_seed + 101 * static_cast<std::uint64_t>(c);
+    DockResult res = dock(grid, mol, ligand_id, copts);
+    total_evals += res.evaluations;
+    if (conformer_scores) conformer_scores->push_back(res.best_score);
+    if (first || res.best_score < best.best_score) {
+      best = std::move(res);
+      first = false;
+    }
+  }
+  best.evaluations = total_evals;
+  return best;
+}
+
+DockResult dock_multi_structure(
+    const std::vector<std::shared_ptr<const AffinityGrid>>& grids,
+    const chem::Molecule& mol, const std::string& ligand_id,
+    const DockOptions& opts, int* best_structure) {
+  if (grids.empty())
+    throw std::invalid_argument("dock_multi_structure: no grids");
+  DockResult best;
+  bool first = true;
+  std::uint64_t total_evals = 0;
+  for (std::size_t g = 0; g < grids.size(); ++g) {
+    DockOptions sopts = opts;
+    sopts.seed = opts.seed ^ (0x9e37 * (g + 1));
+    DockResult res = dock(*grids[g], mol, ligand_id, sopts);
+    total_evals += res.evaluations;
+    if (first || res.best_score < best.best_score) {
+      best = std::move(res);
+      first = false;
+      if (best_structure) *best_structure = static_cast<int>(g);
+    }
+  }
+  best.evaluations = total_evals;
+  return best;
+}
+
+std::uint64_t flops_per_evaluation(int atoms, int nb_pairs) {
+  // Per atom: one trilinear interpolation with gradient on two fields
+  // (~90 flops each) plus bookkeeping; per intramolecular pair: distance,
+  // powers and LJ combination (~40 flops). Coordinates build: rotation and
+  // torsion transforms, ~60 flops/atom.
+  return static_cast<std::uint64_t>(atoms) * (2 * 90 + 60) +
+         static_cast<std::uint64_t>(nb_pairs) * 40;
+}
+
+}  // namespace impeccable::dock

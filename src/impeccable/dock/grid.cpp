@@ -1,0 +1,102 @@
+#include "impeccable/dock/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace impeccable::dock {
+
+using common::Vec3;
+
+GridField::GridField(Vec3 origin, double spacing, int nx, int ny, int nz)
+    : origin_(origin), spacing_(spacing), nx_(nx), ny_(ny), nz_(nz),
+      data_(static_cast<std::size_t>(nx) * ny * nz, 0.0) {
+  if (nx < 2 || ny < 2 || nz < 2)
+    throw std::invalid_argument("GridField: need at least 2 nodes per axis");
+  if (spacing <= 0.0)
+    throw std::invalid_argument("GridField: spacing must be positive");
+}
+
+double& GridField::at(int ix, int iy, int iz) {
+  return data_[(static_cast<std::size_t>(iz) * ny_ + iy) * nx_ + ix];
+}
+
+double GridField::at(int ix, int iy, int iz) const {
+  return data_[(static_cast<std::size_t>(iz) * ny_ + iy) * nx_ + ix];
+}
+
+Vec3 GridField::node(int ix, int iy, int iz) const {
+  return origin_ + Vec3{ix * spacing_, iy * spacing_, iz * spacing_};
+}
+
+FieldSample GridField::sample(const Vec3& p) const {
+  // Fractional grid coordinates.
+  double gx = (p.x - origin_.x) / spacing_;
+  double gy = (p.y - origin_.y) / spacing_;
+  double gz = (p.z - origin_.z) / spacing_;
+
+  // Clamp into the valid interpolation domain, accumulating a quadratic
+  // wall penalty (with gradient) for the clamped distance.
+  FieldSample out;
+  auto clamp_axis = [&](double& g, int n, double* grad_component) {
+    const double max_g = static_cast<double>(n) - 1.0 - 1e-9;
+    if (g < 0.0) {
+      const double d = -g * spacing_;
+      out.value += kWallStiffness * d * d;
+      *grad_component += -2.0 * kWallStiffness * d;  // pushes back inside (+axis)
+      g = 0.0;
+    } else if (g > max_g) {
+      const double d = (g - max_g) * spacing_;
+      out.value += kWallStiffness * d * d;
+      *grad_component += 2.0 * kWallStiffness * d;
+      g = max_g;
+    }
+  };
+  clamp_axis(gx, nx_, &out.gradient.x);
+  clamp_axis(gy, ny_, &out.gradient.y);
+  clamp_axis(gz, nz_, &out.gradient.z);
+
+  const int ix = std::min(nx_ - 2, static_cast<int>(gx));
+  const int iy = std::min(ny_ - 2, static_cast<int>(gy));
+  const int iz = std::min(nz_ - 2, static_cast<int>(gz));
+  const double fx = gx - ix;
+  const double fy = gy - iy;
+  const double fz = gz - iz;
+
+  const double c000 = at(ix, iy, iz), c100 = at(ix + 1, iy, iz);
+  const double c010 = at(ix, iy + 1, iz), c110 = at(ix + 1, iy + 1, iz);
+  const double c001 = at(ix, iy, iz + 1), c101 = at(ix + 1, iy, iz + 1);
+  const double c011 = at(ix, iy + 1, iz + 1), c111 = at(ix + 1, iy + 1, iz + 1);
+
+  // Trilinear value.
+  const double c00 = c000 * (1 - fx) + c100 * fx;
+  const double c10 = c010 * (1 - fx) + c110 * fx;
+  const double c01 = c001 * (1 - fx) + c101 * fx;
+  const double c11 = c011 * (1 - fx) + c111 * fx;
+  const double c0 = c00 * (1 - fy) + c10 * fy;
+  const double c1 = c01 * (1 - fy) + c11 * fy;
+  out.value += c0 * (1 - fz) + c1 * fz;
+
+  // Analytic gradient of the trilinear form (chain rule through spacing).
+  const double dx = ((c100 - c000) * (1 - fy) + (c110 - c010) * fy) * (1 - fz) +
+                    ((c101 - c001) * (1 - fy) + (c111 - c011) * fy) * fz;
+  const double dy = ((c010 - c000) * (1 - fx) + (c110 - c100) * fx) * (1 - fz) +
+                    ((c011 - c001) * (1 - fx) + (c111 - c101) * fx) * fz;
+  const double dz = (c01 - c00) * (1 - fy) + (c11 - c10) * fy;
+  out.gradient.x += dx / spacing_;
+  out.gradient.y += dy / spacing_;
+  out.gradient.z += dz / spacing_;
+  return out;
+}
+
+AffinityGrid::AffinityGrid(Vec3 origin, double spacing, int nx, int ny, int nz)
+    : electrostatic(origin, spacing, nx, ny, nz) {
+  probe_maps.reserve(kProbeCount);
+  for (int t = 0; t < kProbeCount; ++t)
+    probe_maps.emplace_back(origin, spacing, nx, ny, nz);
+  pocket_center = origin + Vec3{(nx - 1) * spacing / 2.0,
+                                (ny - 1) * spacing / 2.0,
+                                (nz - 1) * spacing / 2.0};
+}
+
+}  // namespace impeccable::dock

@@ -1,0 +1,84 @@
+#pragma once
+// Precomputed affinity grid maps — the AutoGrid half of the AutoDock-GPU
+// reimplementation (Sec. 5.1.1).
+//
+// A receptor is compiled once into per-probe-type affinity fields plus an
+// electrostatic potential field over a cubic box around the binding site.
+// Scoring a ligand pose then costs one trilinear interpolation per atom,
+// which is what makes per-ligand docking ~1e-4 node-hours (Tab. 2).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "impeccable/common/vec3.hpp"
+
+namespace impeccable::dock {
+
+/// Probe types the maps are computed for. Ligand atoms are binned into these
+/// classes (element + aromaticity + H-bonding role), mirroring the AutoDock
+/// atom-typing scheme at coarse granularity.
+enum class ProbeType : std::uint8_t {
+  Carbon,      ///< aliphatic C
+  Aromatic,    ///< aromatic C
+  Donor,       ///< N/O/S with attached H
+  Acceptor,    ///< N/O/F lone-pair acceptor without H
+  Sulfur,      ///< S, P
+  Halogen,     ///< F, Cl, Br, I
+  Count,
+};
+
+inline constexpr int kProbeCount = static_cast<int>(ProbeType::Count);
+
+/// Value + spatial gradient of a field at a point.
+struct FieldSample {
+  double value = 0.0;
+  common::Vec3 gradient;
+};
+
+/// A scalar field on a regular grid with trilinear interpolation.
+/// Queries outside the box are clamped to the boundary with a steep
+/// quadratic penalty added, which keeps GA individuals inside the box.
+class GridField {
+ public:
+  GridField(common::Vec3 origin, double spacing, int nx, int ny, int nz);
+
+  double& at(int ix, int iy, int iz);
+  double at(int ix, int iy, int iz) const;
+
+  /// Trilinearly interpolated value (and gradient) at a world-space point.
+  FieldSample sample(const common::Vec3& p) const;
+
+  common::Vec3 origin() const { return origin_; }
+  double spacing() const { return spacing_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  /// World-space coordinates of a grid node.
+  common::Vec3 node(int ix, int iy, int iz) const;
+
+  /// Out-of-box penalty strength (kcal/mol per Å², applied quadratically).
+  static constexpr double kWallStiffness = 50.0;
+
+ private:
+  common::Vec3 origin_;
+  double spacing_;
+  int nx_, ny_, nz_;
+  std::vector<double> data_;
+};
+
+/// The full set of maps for one receptor.
+struct AffinityGrid {
+  std::vector<GridField> probe_maps;  ///< one per ProbeType
+  GridField electrostatic;            ///< potential in kcal/(mol·e)
+  common::Vec3 pocket_center;
+
+  AffinityGrid(common::Vec3 origin, double spacing, int nx, int ny, int nz);
+
+  const GridField& map(ProbeType t) const {
+    return probe_maps[static_cast<std::size_t>(t)];
+  }
+  GridField& map(ProbeType t) { return probe_maps[static_cast<std::size_t>(t)]; }
+};
+
+}  // namespace impeccable::dock

@@ -1,0 +1,95 @@
+#pragma once
+// Torsional-tree ligand model — the AutoDock degrees of freedom.
+//
+// A docking pose is (translation, rigid rotation, one angle per rotatable
+// bond). The ligand is built from the molecular graph + its 3D embedding:
+// rotatable bonds are detected, a root rigid fragment is chosen, and each
+// torsion records the atoms distal to it (its "moving set").
+
+#include <cstdint>
+#include <vector>
+
+#include "impeccable/chem/molecule.hpp"
+#include "impeccable/common/rng.hpp"
+#include "impeccable/common/vec3.hpp"
+#include "impeccable/dock/grid.hpp"
+
+namespace impeccable::dock {
+
+struct LigandAtom {
+  ProbeType probe = ProbeType::Carbon;
+  double charge = 0.0;     ///< Gasteiger-like partial charge, e
+  double vdw_radius = 1.7; ///< for the intramolecular term
+  double well_depth = 0.15;
+};
+
+struct Torsion {
+  int axis_a = -1;  ///< proximal atom of the rotatable bond
+  int axis_b = -1;  ///< distal atom of the rotatable bond
+  std::vector<int> moving;  ///< atoms rotated by this torsion (distal side)
+};
+
+/// Pose genotype: the LGA individual.
+struct Pose {
+  common::Vec3 translation;  ///< of the ligand centroid
+  /// Orientation quaternion (w, x, y, z), kept normalized.
+  double qw = 1.0, qx = 0.0, qy = 0.0, qz = 0.0;
+  std::vector<double> torsions;  ///< radians, one per rotatable bond
+
+  void normalize_quaternion();
+  /// Compose a small rotation `omega` (axis*angle vector) onto the pose.
+  void rotate_by(const common::Vec3& omega);
+};
+
+/// Gradient of an energy with respect to the pose degrees of freedom.
+struct PoseGradient {
+  common::Vec3 translation;
+  common::Vec3 torque;  ///< dE/d(rotation vector), world frame
+  std::vector<double> torsions;
+};
+
+class Ligand {
+ public:
+  /// Build from a finalized molecule. 3D coordinates come from embed_3d with
+  /// `conformer_seed`, so one molecule yields an ensemble of conformers.
+  Ligand(const chem::Molecule& mol, std::uint64_t conformer_seed = 7);
+
+  int atom_count() const { return static_cast<int>(atoms_.size()); }
+  const std::vector<LigandAtom>& atoms() const { return atoms_; }
+  const std::vector<Torsion>& torsions() const { return torsions_; }
+  int torsion_count() const { return static_cast<int>(torsions_.size()); }
+  const std::vector<common::Vec3>& reference_coords() const { return ref_coords_; }
+
+  /// Intramolecular nonbonded pairs (atoms separated by >3 bonds or in
+  /// different rigid groups), used by the internal-energy term.
+  const std::vector<std::pair<int, int>>& nonbonded_pairs() const {
+    return nb_pairs_;
+  }
+
+  /// Apply the pose: torsions in tree order, then rigid rotation about the
+  /// reference-frame origin, then translation. Writes atom_count() coords.
+  void build_coords(const Pose& pose, std::vector<common::Vec3>& out) const;
+
+  /// An identity pose centered at `center`.
+  Pose identity_pose(const common::Vec3& center) const;
+
+  /// A random pose with translation inside a sphere around `center`.
+  Pose random_pose(const common::Vec3& center, double radius,
+                   common::Rng& rng) const;
+
+ private:
+  std::vector<LigandAtom> atoms_;
+  std::vector<Torsion> torsions_;
+  std::vector<common::Vec3> ref_coords_;  ///< canonical conformation, centered
+  std::vector<std::pair<int, int>> nb_pairs_;
+};
+
+/// Map a heavy atom of the molecule onto a probe type.
+ProbeType probe_type_for(const chem::Molecule& mol, int atom);
+
+/// Simple electronegativity-equalization partial charges (Gasteiger-like,
+/// three damped iterations). Returns one charge per heavy atom; attached
+/// hydrogens are folded into their heavy atom (united-atom convention).
+std::vector<double> partial_charges(const chem::Molecule& mol);
+
+}  // namespace impeccable::dock

@@ -1,0 +1,152 @@
+#include "impeccable/dock/receptor.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "impeccable/common/rng.hpp"
+
+namespace impeccable::dock {
+
+using common::Rng;
+using common::Vec3;
+
+Receptor Receptor::synthesize(const std::string& name, std::uint64_t seed,
+                              const ReceptorOptions& opts) {
+  Receptor r;
+  r.name_ = name;
+  r.seed_ = seed;
+  r.pocket_center_ = {0, 0, 0};
+  Rng rng(seed ^ 0x7ece970aULL);
+
+  // Pocket wall: atoms on a sphere around the cavity with a mouth opening
+  // towards +z (points with z/r > cos(mouth) are skipped), plus radial
+  // jitter so the wall is rugged and the score landscape has local minima.
+  const double mouth_cos = 0.55;
+  int placed = 0;
+  while (placed < opts.shell_atoms) {
+    // Uniform direction on the sphere.
+    const double z = rng.uniform(-1.0, 1.0);
+    const double phi = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+    const double s = std::sqrt(std::max(0.0, 1.0 - z * z));
+    const Vec3 dir{s * std::cos(phi), s * std::sin(phi), z};
+    if (dir.z > mouth_cos) continue;  // leave the mouth open
+
+    ReceptorAtom a;
+    const double radius = opts.pocket_radius + rng.uniform(0.0, 2.5);
+    a.position = dir * radius;
+
+    // Character assignment: a contiguous hydrophobic patch near the pocket
+    // floor, polar/charged residues elsewhere — gives receptors chemically
+    // coherent sub-sites rather than uniform noise.
+    const double u = rng.uniform();
+    const bool floor_region = dir.z < -0.3;
+    if (floor_region && u < opts.hydrophobic_fraction * 1.6) {
+      a.hydrophobic = true;
+      a.vdw_radius = 1.9;
+      a.well_depth = 0.20;
+    } else if (u < opts.donor_fraction) {
+      a.hbond_donor = true;
+      a.charge = rng.uniform(0.05, 0.25);
+    } else if (u < opts.donor_fraction + opts.acceptor_fraction) {
+      a.hbond_acceptor = true;
+      a.charge = rng.uniform(-0.3, -0.1);
+    } else if (u < opts.donor_fraction + opts.acceptor_fraction +
+                       opts.charged_fraction) {
+      a.charge = rng.bernoulli(0.5) ? 1.0 : -1.0;
+      a.hbond_donor = a.charge > 0;
+      a.hbond_acceptor = a.charge < 0;
+    } else {
+      a.hydrophobic = rng.bernoulli(0.5);
+      a.charge = rng.uniform(-0.05, 0.05);
+    }
+    r.atoms_.push_back(a);
+    ++placed;
+  }
+  return r;
+}
+
+namespace {
+
+/// AutoDock-style pairwise well parameters for a probe against a receptor
+/// atom. Returns {Rij (Å), epsij (kcal/mol), hbond_eligible}.
+struct PairParams {
+  double rij;
+  double epsij;
+  bool hbond;
+};
+
+PairParams pair_params(ProbeType probe, const ReceptorAtom& ra) {
+  double rp, ep;
+  bool donor = false, acceptor = false, hydrophobic_probe = false;
+  switch (probe) {
+    case ProbeType::Carbon:   rp = 2.00; ep = 0.15; hydrophobic_probe = true; break;
+    case ProbeType::Aromatic: rp = 2.00; ep = 0.17; hydrophobic_probe = true; break;
+    case ProbeType::Donor:    rp = 1.75; ep = 0.16; donor = true; break;
+    case ProbeType::Acceptor: rp = 1.60; ep = 0.20; acceptor = true; break;
+    case ProbeType::Sulfur:   rp = 2.00; ep = 0.20; hydrophobic_probe = true; break;
+    case ProbeType::Halogen:  rp = 1.85; ep = 0.28; hydrophobic_probe = true; break;
+    default:                  rp = 2.00; ep = 0.15; break;
+  }
+  PairParams p;
+  p.rij = rp + ra.vdw_radius;
+  p.epsij = std::sqrt(ep * ra.well_depth);
+  // Hydrophobic complementarity: deepen wells between hydrophobic pairs.
+  if (hydrophobic_probe && ra.hydrophobic) p.epsij *= 1.8;
+  // H-bond: probe donor to receptor acceptor or vice versa.
+  p.hbond = (donor && ra.hbond_acceptor) || (acceptor && ra.hbond_donor);
+  return p;
+}
+
+/// Mehler–Solmajer-style distance-dependent dielectric, simplified.
+double dielectric(double r) { return std::clamp(4.0 * r, 4.0, 80.0); }
+
+}  // namespace
+
+std::shared_ptr<const AffinityGrid> compute_grid(const Receptor& receptor,
+                                                 const GridOptions& opts) {
+  const int n = opts.nodes;
+  const double half = (n - 1) * opts.spacing / 2.0;
+  const Vec3 origin = receptor.pocket_center() - Vec3{half, half, half};
+  auto grid = std::make_shared<AffinityGrid>(origin, opts.spacing, n, n, n);
+
+  const double cutoff = 10.0;
+  const double cutoff2 = cutoff * cutoff;
+
+  for (int iz = 0; iz < n; ++iz) {
+    for (int iy = 0; iy < n; ++iy) {
+      for (int ix = 0; ix < n; ++ix) {
+        const Vec3 p = grid->electrostatic.node(ix, iy, iz);
+        double phi = 0.0;
+        std::array<double, kProbeCount> e{};
+        for (const auto& ra : receptor.atoms()) {
+          const double d2 = common::distance2(p, ra.position);
+          if (d2 > cutoff2) continue;
+          const double r = std::max(0.3, std::sqrt(d2));
+          phi += 332.0 * ra.charge / (dielectric(r) * r);
+          for (int t = 0; t < kProbeCount; ++t) {
+            const PairParams pp = pair_params(static_cast<ProbeType>(t), ra);
+            const double rr = pp.rij / r;
+            const double rr6 = rr * rr * rr * rr * rr * rr;
+            // 12-6 Lennard-Jones in AutoDock's Rij/epsij form.
+            double u = pp.epsij * (rr6 * rr6 - 2.0 * rr6);
+            if (pp.hbond) {
+              // 10-12 H-bond well, ~2 kcal/mol deep at optimal geometry.
+              const double rr10 = rr6 * rr * rr * rr * rr;
+              u += 2.0 * pp.epsij * (5.0 * rr6 * rr6 - 6.0 * rr10);
+            }
+            e[static_cast<std::size_t>(t)] += u;
+          }
+        }
+        grid->electrostatic.at(ix, iy, iz) = std::clamp(phi, -opts.energy_cap,
+                                                        opts.energy_cap);
+        for (int t = 0; t < kProbeCount; ++t)
+          grid->map(static_cast<ProbeType>(t)).at(ix, iy, iz) =
+              std::min(e[static_cast<std::size_t>(t)], opts.energy_cap);
+      }
+    }
+  }
+  return grid;
+}
+
+}  // namespace impeccable::dock

@@ -1,0 +1,72 @@
+#pragma once
+// Procedural receptor synthesis + grid-map compilation (the AutoGrid step).
+//
+// Substitution note (DESIGN.md): the paper docks against crystal structures
+// of SARS-CoV-2 targets (3CLPro, PLPro, ADRP, NSP15; e.g. PDB 6W9C). Offline
+// we synthesize receptors: pseudo-atoms arranged as a binding pocket with
+// seeded hydrophobic / H-bonding / charged character. Different seeds play
+// the role of different targets & crystal structures; docking-score
+// landscapes keep the properties that matter downstream (funnels, ligand-
+// dependent difficulty, chemically meaningful selectivity).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "impeccable/dock/grid.hpp"
+
+namespace impeccable::dock {
+
+/// One receptor pseudo-atom.
+struct ReceptorAtom {
+  common::Vec3 position;
+  double vdw_radius = 1.7;
+  double well_depth = 0.15;
+  double charge = 0.0;
+  bool hbond_donor = false;
+  bool hbond_acceptor = false;
+  bool hydrophobic = false;
+};
+
+struct ReceptorOptions {
+  int shell_atoms = 220;       ///< atoms forming the pocket wall
+  double pocket_radius = 7.0;  ///< Å, inner radius of the cavity
+  double hydrophobic_fraction = 0.45;
+  double donor_fraction = 0.18;
+  double acceptor_fraction = 0.22;
+  double charged_fraction = 0.10;
+};
+
+/// A synthetic protein binding site.
+class Receptor {
+ public:
+  /// Deterministically synthesize a receptor ("target") from a seed.
+  static Receptor synthesize(const std::string& name, std::uint64_t seed,
+                             const ReceptorOptions& opts = {});
+
+  const std::string& name() const { return name_; }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<ReceptorAtom>& atoms() const { return atoms_; }
+  common::Vec3 pocket_center() const { return pocket_center_; }
+
+ private:
+  std::string name_;
+  std::uint64_t seed_ = 0;
+  std::vector<ReceptorAtom> atoms_;
+  common::Vec3 pocket_center_;
+};
+
+struct GridOptions {
+  double spacing = 0.5;  ///< Å
+  int nodes = 33;        ///< per axis (box = (nodes-1)*spacing Å)
+  double energy_cap = 1000.0;  ///< clamp for repulsive map values
+};
+
+/// Compile a receptor into affinity maps (the AutoGrid computation):
+/// per-probe pairwise 12-6 vdW (+10-12 H-bond term for Donor/Acceptor
+/// probes) and a distance-dependent-dielectric electrostatic map.
+std::shared_ptr<const AffinityGrid> compute_grid(const Receptor& receptor,
+                                                 const GridOptions& opts = {});
+
+}  // namespace impeccable::dock

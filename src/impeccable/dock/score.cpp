@@ -1,0 +1,92 @@
+#include "impeccable/dock/score.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace impeccable::dock {
+
+using common::Vec3;
+
+ScoringFunction::ScoringFunction(const AffinityGrid& grid, const Ligand& ligand)
+    : grid_(grid), ligand_(ligand) {}
+
+double ScoringFunction::energy_and_forces(const std::vector<Vec3>& coords,
+                                          std::vector<Vec3>* grads) const {
+  double energy = 0.0;
+  if (grads) grads->assign(coords.size(), Vec3{});
+
+  // Intermolecular: per-atom grid lookups.
+  const auto& atoms = ligand_.atoms();
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    const FieldSample aff = grid_.map(atoms[i].probe).sample(coords[i]);
+    const FieldSample ele = grid_.electrostatic.sample(coords[i]);
+    energy += aff.value + atoms[i].charge * ele.value;
+    if (grads)
+      (*grads)[i] += aff.gradient + ele.gradient * atoms[i].charge;
+  }
+
+  // Intramolecular: softened 12-6 between topologically distant pairs.
+  for (const auto& [i, j] : ligand_.nonbonded_pairs()) {
+    const Vec3 d = coords[static_cast<std::size_t>(j)] - coords[static_cast<std::size_t>(i)];
+    const double r = std::max(0.8, d.norm());
+    const double rij = 0.9 * (atoms[static_cast<std::size_t>(i)].vdw_radius +
+                              atoms[static_cast<std::size_t>(j)].vdw_radius);
+    const double eps = std::sqrt(atoms[static_cast<std::size_t>(i)].well_depth *
+                                 atoms[static_cast<std::size_t>(j)].well_depth);
+    const double rr = rij / r;
+    const double rr6 = rr * rr * rr * rr * rr * rr;
+    const double u = eps * (rr6 * rr6 - 2.0 * rr6);
+    energy += std::min(u, 100.0);
+    if (grads && u < 100.0 && d.norm() > 0.8) {
+      // dU/dr = eps * (-12 rr12 + 12 rr6) / r
+      const double du_dr = eps * 12.0 * (rr6 - rr6 * rr6) / r;
+      const Vec3 dir = d / r;
+      (*grads)[static_cast<std::size_t>(j)] += dir * du_dr;
+      (*grads)[static_cast<std::size_t>(i)] -= dir * du_dr;
+    }
+  }
+  return energy;
+}
+
+double ScoringFunction::evaluate(const Pose& pose, std::vector<Vec3>* coords) const {
+  evals_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Vec3> local;
+  std::vector<Vec3>& c = coords ? *coords : local;
+  ligand_.build_coords(pose, c);
+  return energy_and_forces(c, nullptr);
+}
+
+double ScoringFunction::evaluate_with_gradient(const Pose& pose,
+                                               PoseGradient& grad) const {
+  evals_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<Vec3> coords;
+  ligand_.build_coords(pose, coords);
+  std::vector<Vec3> g;
+  const double energy = energy_and_forces(coords, &g);
+
+  grad.translation = Vec3{};
+  grad.torque = Vec3{};
+  grad.torsions.assign(ligand_.torsion_count(), 0.0);
+
+  // Pose::rotate_by composes a world-frame rotation in front of the pose
+  // quaternion, which pivots the rigid body about its translation point; the
+  // torque must therefore be taken about pose.translation.
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    grad.translation += g[i];
+    grad.torque += (coords[i] - pose.translation).cross(g[i]);
+  }
+
+  const auto& torsions = ligand_.torsions();
+  for (std::size_t t = 0; t < torsions.size(); ++t) {
+    const Vec3 pa = coords[static_cast<std::size_t>(torsions[t].axis_a)];
+    const Vec3 pb = coords[static_cast<std::size_t>(torsions[t].axis_b)];
+    const Vec3 axis = (pb - pa).normalized();
+    Vec3 acc;
+    for (int idx : torsions[t].moving)
+      acc += (coords[static_cast<std::size_t>(idx)] - pb).cross(g[static_cast<std::size_t>(idx)]);
+    grad.torsions[t] = axis.dot(acc);
+  }
+  return energy;
+}
+
+}  // namespace impeccable::dock

@@ -1,0 +1,50 @@
+#pragma once
+// Pose scoring — intermolecular grid term + intramolecular ligand term,
+// with analytic gradients in pose space for the ADADELTA local search
+// (Sec. 5.1.1: "a new local-search method based on gradients of the scoring
+// function").
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "impeccable/dock/grid.hpp"
+#include "impeccable/dock/ligand.hpp"
+
+namespace impeccable::dock {
+
+/// Scores poses of one ligand against one receptor grid.
+/// Thread-compatible: one instance per worker; the evaluation counter is the
+/// per-instance work-unit count used for flop accounting (Sec. 7.2).
+class ScoringFunction {
+ public:
+  ScoringFunction(const AffinityGrid& grid, const Ligand& ligand);
+
+  /// Total energy (kcal/mol-ish). If `coords` is non-null the built atom
+  /// coordinates are written there (avoids a second build for callers that
+  /// need them).
+  double evaluate(const Pose& pose, std::vector<common::Vec3>* coords = nullptr) const;
+
+  /// Energy and its gradient with respect to pose degrees of freedom.
+  /// Torque is the derivative with respect to an infinitesimal world-frame
+  /// rotation about the ligand centroid; torsion entries follow the pose's
+  /// torsion order.
+  double evaluate_with_gradient(const Pose& pose, PoseGradient& grad) const;
+
+  /// Number of evaluate* calls since construction (work units).
+  std::uint64_t evaluations() const { return evals_; }
+
+  const Ligand& ligand() const { return ligand_; }
+  const AffinityGrid& grid() const { return grid_; }
+
+ private:
+  /// Per-atom energies and forces at explicit coordinates.
+  double energy_and_forces(const std::vector<common::Vec3>& coords,
+                           std::vector<common::Vec3>* forces) const;
+
+  const AffinityGrid& grid_;
+  const Ligand& ligand_;
+  mutable std::atomic<std::uint64_t> evals_{0};
+};
+
+}  // namespace impeccable::dock

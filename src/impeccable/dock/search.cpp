@@ -1,0 +1,240 @@
+#include "impeccable/dock/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace impeccable::dock {
+
+using common::Rng;
+using common::Vec3;
+
+namespace {
+
+/// Wrap an angle into (-pi, pi].
+double wrap_angle(double a) {
+  while (a > 3.14159265358979323846) a -= 2 * 3.14159265358979323846;
+  while (a <= -3.14159265358979323846) a += 2 * 3.14159265358979323846;
+  return a;
+}
+
+/// Apply a Solis–Wets deviation (bias + random) to a pose.
+Pose perturb(const Pose& base, const std::vector<double>& dev) {
+  Pose p = base;
+  p.translation += Vec3{dev[0], dev[1], dev[2]};
+  p.rotate_by(Vec3{dev[3], dev[4], dev[5]});
+  for (std::size_t t = 0; t < p.torsions.size(); ++t)
+    p.torsions[t] = wrap_angle(p.torsions[t] + dev[6 + t]);
+  return p;
+}
+
+}  // namespace
+
+LocalSearchResult solis_wets(const ScoringFunction& score, const Pose& start,
+                             Rng& rng, const SolisWetsOptions& opts) {
+  const std::size_t n = 6 + start.torsions.size();
+  std::vector<double> bias(n, 0.0);
+  double step = opts.initial_step;
+  int successes = 0, failures = 0;
+
+  LocalSearchResult out;
+  out.pose = start;
+  out.energy = score.evaluate(start);
+
+  // Per-gene scale: translations in Å, rotation/torsions in radians (roughly
+  // half the translational scale works well for drug-sized ligands).
+  auto gene_scale = [&](std::size_t g) { return g < 3 ? 1.0 : 0.5; };
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    if (step < opts.min_step) break;
+    std::vector<double> dev(n);
+    for (std::size_t g = 0; g < n; ++g)
+      dev[g] = bias[g] + rng.gauss(0.0, step * gene_scale(g));
+
+    Pose cand = perturb(out.pose, dev);
+    double e = score.evaluate(cand);
+    ++out.iterations;
+    if (e < out.energy) {
+      out.pose = cand;
+      out.energy = e;
+      for (std::size_t g = 0; g < n; ++g) bias[g] = 0.2 * bias[g] + 0.4 * dev[g];
+      ++successes;
+      failures = 0;
+    } else {
+      // Try the opposite direction before counting a failure.
+      for (auto& d : dev) d = -d;
+      cand = perturb(out.pose, dev);
+      e = score.evaluate(cand);
+      ++out.iterations;
+      if (e < out.energy) {
+        out.pose = cand;
+        out.energy = e;
+        for (std::size_t g = 0; g < n; ++g) bias[g] = 0.2 * bias[g] + 0.4 * dev[g];
+        ++successes;
+        failures = 0;
+      } else {
+        for (auto& b : bias) b *= 0.5;
+        ++failures;
+        successes = 0;
+      }
+    }
+    if (successes >= opts.success_streak) {
+      step *= opts.step_expansion;
+      successes = 0;
+    } else if (failures >= opts.failure_streak) {
+      step *= opts.step_contraction;
+      failures = 0;
+    }
+  }
+  return out;
+}
+
+LocalSearchResult adadelta(const ScoringFunction& score, const Pose& start,
+                           const AdadeltaOptions& opts) {
+  const std::size_t n = 6 + start.torsions.size();
+  std::vector<double> eg2(n, 0.0);  // EMA of squared gradients
+  std::vector<double> ex2(n, 0.0);  // EMA of squared updates
+
+  LocalSearchResult out;
+  out.pose = start;
+  PoseGradient grad;
+  out.energy = score.evaluate_with_gradient(out.pose, grad);
+
+  Pose cur = out.pose;
+  double cur_energy = out.energy;
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    // Flatten the gradient into gene space with per-block scales.
+    std::vector<double> g(n);
+    g[0] = grad.translation.x * opts.trans_scale;
+    g[1] = grad.translation.y * opts.trans_scale;
+    g[2] = grad.translation.z * opts.trans_scale;
+    g[3] = grad.torque.x * opts.rot_scale;
+    g[4] = grad.torque.y * opts.rot_scale;
+    g[5] = grad.torque.z * opts.rot_scale;
+    for (std::size_t t = 0; t < cur.torsions.size(); ++t)
+      g[6 + t] = grad.torsions[t] * opts.torsion_scale;
+
+    std::vector<double> dx(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      eg2[k] = opts.rho * eg2[k] + (1 - opts.rho) * g[k] * g[k];
+      dx[k] = -std::sqrt(ex2[k] + opts.epsilon) / std::sqrt(eg2[k] + opts.epsilon) * g[k];
+      ex2[k] = opts.rho * ex2[k] + (1 - opts.rho) * dx[k] * dx[k];
+    }
+
+    cur.translation += Vec3{dx[0], dx[1], dx[2]};
+    cur.rotate_by(Vec3{dx[3], dx[4], dx[5]});
+    for (std::size_t t = 0; t < cur.torsions.size(); ++t)
+      cur.torsions[t] = wrap_angle(cur.torsions[t] + dx[6 + t]);
+
+    cur_energy = score.evaluate_with_gradient(cur, grad);
+    ++out.iterations;
+    if (cur_energy < out.energy) {
+      out.energy = cur_energy;
+      out.pose = cur;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Pose crossover(const Pose& a, const Pose& b, Rng& rng) {
+  Pose child = a;
+  if (rng.bernoulli(0.5)) child.translation = b.translation;
+  if (rng.bernoulli(0.5)) {
+    child.qw = b.qw; child.qx = b.qx; child.qy = b.qy; child.qz = b.qz;
+  }
+  for (std::size_t t = 0; t < child.torsions.size(); ++t)
+    if (rng.bernoulli(0.5)) child.torsions[t] = b.torsions[t];
+  return child;
+}
+
+void mutate(Pose& p, Rng& rng, const LgaOptions& opts) {
+  if (rng.bernoulli(opts.mutation_rate))
+    p.translation += Vec3{rng.gauss(0, opts.mutation_trans_sigma),
+                          rng.gauss(0, opts.mutation_trans_sigma),
+                          rng.gauss(0, opts.mutation_trans_sigma)};
+  if (rng.bernoulli(opts.mutation_rate))
+    p.rotate_by(Vec3{rng.gauss(0, opts.mutation_rot_sigma),
+                     rng.gauss(0, opts.mutation_rot_sigma),
+                     rng.gauss(0, opts.mutation_rot_sigma)});
+  for (auto& t : p.torsions)
+    if (rng.bernoulli(opts.mutation_rate))
+      t = wrap_angle(t + rng.gauss(0, opts.mutation_torsion_sigma));
+}
+
+}  // namespace
+
+LgaResult run_lga(const ScoringFunction& score, Rng& rng, const LgaOptions& opts) {
+  const std::uint64_t evals_before = score.evaluations();
+  const Vec3 center = score.grid().pocket_center;
+
+  struct Individual {
+    Pose pose;
+    double energy;
+  };
+  std::vector<Individual> pop;
+  pop.reserve(static_cast<std::size_t>(opts.population));
+  for (int i = 0; i < opts.population; ++i) {
+    Individual ind;
+    ind.pose = score.ligand().random_pose(center, opts.init_radius, rng);
+    ind.energy = score.evaluate(ind.pose);
+    pop.push_back(std::move(ind));
+  }
+
+  auto by_energy = [](const Individual& a, const Individual& b) {
+    return a.energy < b.energy;
+  };
+
+  for (int gen = 0; gen < opts.generations; ++gen) {
+    std::sort(pop.begin(), pop.end(), by_energy);
+
+    std::vector<Individual> next;
+    next.reserve(pop.size());
+    for (int e = 0; e < opts.elitism && e < static_cast<int>(pop.size()); ++e)
+      next.push_back(pop[static_cast<std::size_t>(e)]);
+
+    // Binary tournament selection.
+    auto select = [&]() -> const Individual& {
+      const auto& a = pop[rng.index(pop.size())];
+      const auto& b = pop[rng.index(pop.size())];
+      return a.energy < b.energy ? a : b;
+    };
+
+    while (next.size() < pop.size()) {
+      Individual child;
+      if (rng.bernoulli(opts.crossover_rate)) {
+        child.pose = crossover(select().pose, select().pose, rng);
+        child.pose.normalize_quaternion();
+      } else {
+        child.pose = select().pose;
+      }
+      mutate(child.pose, rng, opts);
+
+      if (opts.local_search != LocalSearchMethod::None &&
+          rng.bernoulli(opts.local_search_rate)) {
+        // Lamarckian step: the improved genotype is inherited.
+        LocalSearchResult ls =
+            opts.local_search == LocalSearchMethod::SolisWets
+                ? solis_wets(score, child.pose, rng, opts.sw)
+                : adadelta(score, child.pose, opts.ad);
+        child.pose = ls.pose;
+        child.energy = ls.energy;
+      } else {
+        child.energy = score.evaluate(child.pose);
+      }
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+  }
+
+  const auto best = std::min_element(pop.begin(), pop.end(), by_energy);
+  LgaResult out;
+  out.best_pose = best->pose;
+  out.best_energy = best->energy;
+  score.ligand().build_coords(out.best_pose, out.best_coords);
+  out.evaluations = score.evaluations() - evals_before;
+  return out;
+}
+
+}  // namespace impeccable::dock

@@ -1,0 +1,77 @@
+#pragma once
+// Pose-space search: the Lamarckian genetic algorithm with pluggable local
+// search — legacy Solis–Wets and the gradient-based ADADELTA method
+// (Sec. 5.1.1, AutoDock-GPU).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "impeccable/dock/score.hpp"
+
+namespace impeccable::dock {
+
+enum class LocalSearchMethod { None, SolisWets, Adadelta };
+
+struct LocalSearchResult {
+  Pose pose;
+  double energy = 0.0;
+  int iterations = 0;
+};
+
+struct SolisWetsOptions {
+  int max_iterations = 60;
+  double initial_step = 0.5;      ///< Å for translation; scaled for angles
+  double step_contraction = 0.5;
+  double step_expansion = 2.0;
+  int success_streak = 4;         ///< expansions after this many successes
+  int failure_streak = 4;         ///< contractions after this many failures
+  double min_step = 1e-3;
+};
+
+/// Solis–Wets adaptive random walk from `start`.
+LocalSearchResult solis_wets(const ScoringFunction& score, const Pose& start,
+                             common::Rng& rng, const SolisWetsOptions& opts = {});
+
+struct AdadeltaOptions {
+  int max_iterations = 60;
+  double rho = 0.8;      ///< decay of squared-gradient / squared-update EMAs
+  double epsilon = 1e-2;
+  double trans_scale = 1.0;   ///< relative step scale for translation genes
+  double rot_scale = 0.5;     ///< for the rotation update (radians)
+  double torsion_scale = 0.5; ///< for torsion genes (radians)
+};
+
+/// ADADELTA gradient descent in pose space from `start`.
+LocalSearchResult adadelta(const ScoringFunction& score, const Pose& start,
+                           const AdadeltaOptions& opts = {});
+
+struct LgaOptions {
+  int population = 50;
+  int generations = 40;
+  double crossover_rate = 0.8;
+  double mutation_rate = 0.1;
+  double mutation_trans_sigma = 1.0;   ///< Å
+  double mutation_rot_sigma = 0.4;     ///< radians
+  double mutation_torsion_sigma = 0.6; ///< radians
+  int elitism = 2;
+  double local_search_rate = 0.3;      ///< fraction receiving local search
+  LocalSearchMethod local_search = LocalSearchMethod::Adadelta;
+  SolisWetsOptions sw;
+  AdadeltaOptions ad;
+  double init_radius = 4.0;  ///< Å around pocket center for initial poses
+};
+
+struct LgaResult {
+  Pose best_pose;
+  double best_energy = 0.0;
+  std::vector<common::Vec3> best_coords;
+  std::uint64_t evaluations = 0;  ///< scoring calls consumed by this run
+};
+
+/// One Lamarckian GA run (corresponds to one AutoDock "run"). Local-search
+/// improvements are written back into the genome (the Lamarckian step).
+LgaResult run_lga(const ScoringFunction& score, common::Rng& rng,
+                  const LgaOptions& opts = {});
+
+}  // namespace impeccable::dock

@@ -1,0 +1,127 @@
+#include "impeccable/hpc/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace impeccable::hpc {
+
+ClusterSim::ClusterSim(Simulator& sim, const MachineSpec& machine)
+    : sim_(sim), machine_(machine),
+      nodes_(static_cast<std::size_t>(machine.nodes),
+             Node{machine.cores_per_node, machine.gpus_per_node}) {
+  record();
+}
+
+bool ClusterSim::try_place(const SlotRequest& req, Placement& out) {
+  if (req.whole_nodes > 0) {
+    if (req.whole_nodes > machine_.nodes)
+      throw std::invalid_argument("ClusterSim: request larger than machine");
+    // Find a run of fully free nodes (first fit).
+    int run = 0;
+    for (int i = 0; i < machine_.nodes; ++i) {
+      const Node& n = nodes_[static_cast<std::size_t>(i)];
+      const bool free = n.free_cpus == machine_.cores_per_node &&
+                        n.free_gpus == machine_.gpus_per_node;
+      run = free ? run + 1 : 0;
+      if (run == req.whole_nodes) {
+        out.first_node = i - run + 1;
+        out.node_count = run;
+        out.cpus = run * machine_.cores_per_node;
+        out.gpus = run * machine_.gpus_per_node;
+        for (int k = out.first_node; k <= i; ++k) {
+          nodes_[static_cast<std::size_t>(k)].free_cpus = 0;
+          nodes_[static_cast<std::size_t>(k)].free_gpus = 0;
+        }
+        busy_cpus_ += out.cpus;
+        busy_gpus_ += out.gpus;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  if (req.cpus > machine_.cores_per_node || req.gpus > machine_.gpus_per_node)
+    throw std::invalid_argument("ClusterSim: single-node request too large");
+  for (int i = 0; i < machine_.nodes; ++i) {
+    Node& n = nodes_[static_cast<std::size_t>(i)];
+    if (n.free_cpus >= req.cpus && n.free_gpus >= req.gpus) {
+      n.free_cpus -= req.cpus;
+      n.free_gpus -= req.gpus;
+      out.first_node = i;
+      out.node_count = 1;
+      out.cpus = req.cpus;
+      out.gpus = req.gpus;
+      busy_cpus_ += req.cpus;
+      busy_gpus_ += req.gpus;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClusterSim::submit(const SlotRequest& req, StartCallback on_start) {
+  queue_.push_back(Pending{req, std::move(on_start)});
+  drain_queue();
+}
+
+void ClusterSim::release(const SlotRequest& req, const Placement& where) {
+  if (where.node_count <= 0)
+    throw std::invalid_argument("ClusterSim::release: invalid placement");
+  if (req.whole_nodes > 0) {
+    for (int k = where.first_node; k < where.first_node + where.node_count; ++k) {
+      nodes_[static_cast<std::size_t>(k)].free_cpus = machine_.cores_per_node;
+      nodes_[static_cast<std::size_t>(k)].free_gpus = machine_.gpus_per_node;
+    }
+  } else {
+    Node& n = nodes_[static_cast<std::size_t>(where.first_node)];
+    n.free_cpus += req.cpus;
+    n.free_gpus += req.gpus;
+  }
+  busy_cpus_ -= where.cpus;
+  busy_gpus_ -= where.gpus;
+  record();
+  drain_queue();
+}
+
+void ClusterSim::drain_queue() {
+  bool placed_any = false;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Placement where;
+    if (try_place(it->req, where)) {
+      // Fire the start callback via the event queue so start ordering is
+      // well-defined and re-entrant submits are safe.
+      auto cb = std::move(it->on_start);
+      it = queue_.erase(it);
+      placed_any = true;
+      sim_.schedule_in(0.0, [cb = std::move(cb), where] { cb(where); });
+    } else {
+      ++it;
+    }
+  }
+  if (placed_any) record();
+}
+
+void ClusterSim::record() {
+  UtilizationSample s;
+  s.time = sim_.now();
+  const double tg = static_cast<double>(machine_.total_gpus());
+  const double tc = static_cast<double>(machine_.total_cores());
+  s.gpu_busy_fraction = tg > 0 ? busy_gpus_ / tg : 0.0;
+  s.cpu_busy_fraction = tc > 0 ? busy_cpus_ / tc : 0.0;
+  series_.push_back(s);
+}
+
+double ClusterSim::mean_gpu_utilization(double t0, double t1) const {
+  if (series_.empty() || t1 <= t0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const double seg_start = std::max(t0, series_[i].time);
+    const double seg_end =
+        std::min(t1, i + 1 < series_.size() ? series_[i + 1].time : t1);
+    if (seg_end > seg_start)
+      acc += (seg_end - seg_start) * series_[i].gpu_busy_fraction;
+  }
+  return acc / (t1 - t0);
+}
+
+}  // namespace impeccable::hpc

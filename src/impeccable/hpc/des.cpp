@@ -1,0 +1,37 @@
+#include "impeccable/hpc/des.hpp"
+
+#include <stdexcept>
+
+namespace impeccable::hpc {
+
+void Simulator::schedule_at(double t, Callback fn) {
+  if (t < now_ - 1e-12)
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+}
+
+double Simulator::run() {
+  while (!queue_.empty()) {
+    // Copy out; the callback may schedule more events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+double Simulator::run_until(double t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (now_ < t_end) now_ = t_end;
+  return now_;
+}
+
+}  // namespace impeccable::hpc

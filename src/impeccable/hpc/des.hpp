@@ -1,0 +1,50 @@
+#pragma once
+// Discrete-event simulation core: a virtual clock and an event queue.
+// Deterministic: ties in time break by insertion order.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace impeccable::hpc {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `t` (>= now).
+  void schedule_at(double t, Callback fn);
+  /// Schedule `fn` `delay` seconds from now.
+  void schedule_in(double delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Run events until the queue drains. Returns the final time.
+  double run();
+  /// Run events up to and including time `t_end`.
+  double run_until(double t_end);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace impeccable::hpc

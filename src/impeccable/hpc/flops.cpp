@@ -1,0 +1,38 @@
+#include "impeccable/hpc/flops.hpp"
+
+namespace impeccable::hpc {
+
+void FlopCounter::add(const std::string& component, std::uint64_t flops) {
+  std::lock_guard lock(mutex_);
+  counts_[component] += flops;
+}
+
+std::uint64_t FlopCounter::total(const std::string& component) const {
+  std::lock_guard lock(mutex_);
+  auto it = counts_.find(component);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t FlopCounter::grand_total() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t acc = 0;
+  for (const auto& [k, v] : counts_) acc += v;
+  return acc;
+}
+
+double FlopCounter::tflops(std::uint64_t flops, double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(flops) / seconds / 1e12;
+}
+
+std::map<std::string, std::uint64_t> FlopCounter::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return counts_;
+}
+
+void FlopCounter::reset() {
+  std::lock_guard lock(mutex_);
+  counts_.clear();
+}
+
+}  // namespace impeccable::hpc

@@ -1,0 +1,33 @@
+#pragma once
+// Flop accounting (Sec. 7.2): components report flops per *work unit* (an MD
+// step, a docking evaluation, a DL batch); the tally aggregates them and the
+// benches divide by task durations to regenerate Table 3's flop rates.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace impeccable::hpc {
+
+class FlopCounter {
+ public:
+  /// Add `flops` under a component label ("ML1", "S1", "S3-CG", ...).
+  void add(const std::string& component, std::uint64_t flops);
+
+  std::uint64_t total(const std::string& component) const;
+  std::uint64_t grand_total() const;
+
+  /// Tflop/s given an elapsed time in seconds.
+  static double tflops(std::uint64_t flops, double seconds);
+
+  std::map<std::string, std::uint64_t> snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace impeccable::hpc

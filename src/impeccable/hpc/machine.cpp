@@ -1,0 +1,33 @@
+#include "impeccable/hpc/machine.hpp"
+
+namespace impeccable::hpc {
+
+MachineSpec summit(int nodes) {
+  MachineSpec m;
+  m.name = "summit";
+  m.nodes = nodes;
+  m.gpus_per_node = 6;
+  m.cores_per_node = 42;
+  m.tflops_per_gpu = 0.5;   // effective mixed-precision application rate
+  m.tflops_per_core = 0.02;
+  return m;
+}
+
+MachineSpec frontera(int nodes) {
+  MachineSpec m;
+  m.name = "frontera";
+  m.nodes = nodes;
+  m.gpus_per_node = 0;
+  m.cores_per_node = 56;
+  m.tflops_per_gpu = 0.0;
+  m.tflops_per_core = 0.05;
+  return m;
+}
+
+MachineSpec test_machine(int nodes) {
+  MachineSpec m = summit(nodes);
+  m.name = "test";
+  return m;
+}
+
+}  // namespace impeccable::hpc

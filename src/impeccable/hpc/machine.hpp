@@ -1,0 +1,35 @@
+#pragma once
+// Machine models for the leadership platforms the campaign ran on
+// (Sec. 8: Summit, Frontera, Lassen, Theta, SuperMUC-NG).
+//
+// Substitution note (DESIGN.md): scale results (Tables 2-3, Fig. 7, the
+// 40-50M docks/hour claims) depend on machine size and per-GPU throughput,
+// not on physically owning the machine; the discrete-event cluster simulator
+// below reproduces them in virtual time.
+
+#include <string>
+
+namespace impeccable::hpc {
+
+struct MachineSpec {
+  std::string name;
+  int nodes = 1;
+  int gpus_per_node = 0;
+  int cores_per_node = 1;
+  /// Effective mixed-precision Tflop/s per GPU for well-optimized kernels
+  /// (measured-app numbers, far below marketing peak).
+  double tflops_per_gpu = 0.5;
+  double tflops_per_core = 0.05;
+
+  int total_gpus() const { return nodes * gpus_per_node; }
+  long total_cores() const { return static_cast<long>(nodes) * cores_per_node; }
+};
+
+/// ORNL Summit: 4608 nodes x 6 V100 x 42 usable Power9 cores.
+MachineSpec summit(int nodes = 4608);
+/// TACC Frontera: CPU machine, 8008 nodes x 56 cores.
+MachineSpec frontera(int nodes = 8008);
+/// A small partition for tests (default 4 nodes of Summit geometry).
+MachineSpec test_machine(int nodes = 4);
+
+}  // namespace impeccable::hpc

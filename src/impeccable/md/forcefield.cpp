@@ -1,0 +1,218 @@
+#include "impeccable/md/forcefield.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace impeccable::md {
+
+using common::Vec3;
+
+void CellList::build(const std::vector<Vec3>& pos, double cutoff) {
+  cell_size_ = cutoff;
+  Vec3 lo{1e30, 1e30, 1e30}, hi{-1e30, -1e30, -1e30};
+  for (const auto& p : pos) {
+    lo.x = std::min(lo.x, p.x); lo.y = std::min(lo.y, p.y); lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x); hi.y = std::max(hi.y, p.y); hi.z = std::max(hi.z, p.z);
+  }
+  origin_ = lo;
+  nx_ = std::max(1, static_cast<int>((hi.x - lo.x) / cell_size_) + 1);
+  ny_ = std::max(1, static_cast<int>((hi.y - lo.y) / cell_size_) + 1);
+  nz_ = std::max(1, static_cast<int>((hi.z - lo.z) / cell_size_) + 1);
+  cells_.assign(static_cast<std::size_t>(nx_) * ny_ * nz_, {});
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    cells_[static_cast<std::size_t>(cell_of(pos[i]))].push_back(static_cast<int>(i));
+}
+
+int CellList::cell_of(const Vec3& p) const {
+  const int cx = std::clamp(static_cast<int>((p.x - origin_.x) / cell_size_), 0, nx_ - 1);
+  const int cy = std::clamp(static_cast<int>((p.y - origin_.y) / cell_size_), 0, ny_ - 1);
+  const int cz = std::clamp(static_cast<int>((p.z - origin_.z) / cell_size_), 0, nz_ - 1);
+  return (cz * ny_ + cy) * nx_ + cx;
+}
+
+ForceField::ForceField(const Topology& topo, const ForceFieldOptions& opts)
+    : topo_(topo), opts_(opts) {
+  for (const auto& [a, b] : topo.exclusions())
+    excluded_.insert((static_cast<std::uint64_t>(a) << 32) |
+                     static_cast<std::uint32_t>(b));
+  // Also exclude 1-3 pairs (angle endpoints) — they are held by the angle
+  // term and would otherwise clash through LJ.
+  for (const auto& ang : topo.angles) {
+    const int a = std::min(ang.a, ang.c), b = std::max(ang.a, ang.c);
+    excluded_.insert((static_cast<std::uint64_t>(a) << 32) |
+                     static_cast<std::uint32_t>(b));
+  }
+}
+
+bool ForceField::is_excluded(int i, int j) const {
+  if (i > j) std::swap(i, j);
+  return excluded_.contains((static_cast<std::uint64_t>(i) << 32) |
+                            static_cast<std::uint32_t>(j));
+}
+
+EnergyBreakdown ForceField::evaluate(const std::vector<Vec3>& pos,
+                                     std::vector<Vec3>* forces) const {
+  EnergyBreakdown e;
+  if (forces) forces->assign(pos.size(), Vec3{});
+
+  auto add_force = [&](int i, const Vec3& f) {
+    if (!forces) return;
+    Vec3 capped = f;
+    const double n = capped.norm();
+    if (n > opts_.max_force) capped *= opts_.max_force / n;
+    (*forces)[static_cast<std::size_t>(i)] += capped;
+  };
+
+  // Bonds.
+  for (const auto& b : topo_.bonds) {
+    const Vec3 d = pos[static_cast<std::size_t>(b.b)] - pos[static_cast<std::size_t>(b.a)];
+    const double r = std::max(1e-9, d.norm());
+    const double dr = r - b.length;
+    e.bond += b.k * dr * dr;
+    const Vec3 f = d / r * (2.0 * b.k * dr);
+    add_force(b.a, f);
+    add_force(b.b, -f);
+  }
+
+  // Angles (harmonic in theta).
+  for (const auto& ang : topo_.angles) {
+    const Vec3 r1 = pos[static_cast<std::size_t>(ang.a)] - pos[static_cast<std::size_t>(ang.b)];
+    const Vec3 r2 = pos[static_cast<std::size_t>(ang.c)] - pos[static_cast<std::size_t>(ang.b)];
+    const double n1 = std::max(1e-9, r1.norm());
+    const double n2 = std::max(1e-9, r2.norm());
+    double cosv = std::clamp(r1.dot(r2) / (n1 * n2), -1.0, 1.0);
+    const double theta = std::acos(cosv);
+    const double dt = theta - ang.theta0;
+    e.angle += ang.k * dt * dt;
+    if (forces) {
+      const double sinv = std::sqrt(std::max(1e-12, 1.0 - cosv * cosv));
+      const double dEdTheta = 2.0 * ang.k * dt;
+      // dtheta/dr1 = (cos*u1 - u2) / (n1 * sin), u = unit vectors.
+      const Vec3 u1 = r1 / n1, u2 = r2 / n2;
+      const Vec3 f1 = (u1 * cosv - u2) * (dEdTheta / (n1 * sinv));
+      const Vec3 f3 = (u2 * cosv - u1) * (dEdTheta / (n2 * sinv));
+      add_force(ang.a, -f1);
+      add_force(ang.c, -f3);
+      add_force(ang.b, f1 + f3);
+    }
+  }
+
+  // Position restraints.
+  if (opts_.restraint_k > 0.0) {
+    if (opts_.restraint_ref.size() != pos.size())
+      throw std::invalid_argument(
+          "ForceField: restraint_ref size must match bead count");
+    auto restrain = [&](int i) {
+      const Vec3 d = pos[static_cast<std::size_t>(i)] -
+                     opts_.restraint_ref[static_cast<std::size_t>(i)];
+      e.restraint += opts_.restraint_k * d.norm2();
+      add_force(i, d * (-2.0 * opts_.restraint_k));
+    };
+    if (opts_.restrained.empty()) {
+      for (int i = 0; i < topo_.bead_count(); ++i) restrain(i);
+    } else {
+      for (int i : opts_.restrained) restrain(i);
+    }
+  }
+
+  // Nonbonded via cell list.
+  cells_.build(pos, opts_.cutoff);
+  const double cutoff2 = opts_.cutoff * opts_.cutoff;
+  std::uint64_t pairs = 0;
+  const auto& beads = topo_.beads;
+  cells_.for_each_pair(pos, opts_.cutoff, [&](int i, int j) {
+    if (is_excluded(i, j)) return;
+    const Vec3 d = pos[static_cast<std::size_t>(j)] - pos[static_cast<std::size_t>(i)];
+    const double r2 = d.norm2();
+    if (r2 > cutoff2) return;
+    ++pairs;
+    const double r = std::max(0.8, std::sqrt(r2));
+    const Bead& bi = beads[static_cast<std::size_t>(i)];
+    const Bead& bj = beads[static_cast<std::size_t>(j)];
+
+    double eps = std::sqrt(bi.epsilon * bj.epsilon);
+    if (bi.hydrophobic && bj.hydrophobic) eps *= opts_.hydrophobic_boost;
+    const double rij = bi.radius + bj.radius;
+    const bool cross = bi.kind != bj.kind;
+    const double lambda = cross ? opts_.interaction_scale : 1.0;
+
+    // Soft-core 12-6 LJ in the alchemical coupling (Beutler-style):
+    //   s(λ, r) = σ⁶ / (r⁶ + α(1-λ)σ⁶),  U = λ·ε·(s² - 2s).
+    // At λ = 1 this is the plain 12-6; at λ → 0 the r → 0 singularity is
+    // removed, so TIES can sample the decoupled endpoint. Potentials are
+    // shifted to zero at the cutoff so the energy stays continuous as pairs
+    // enter/leave the neighbour list.
+    constexpr double kSoftAlpha = 0.5;
+    const double soft = kSoftAlpha * (1.0 - lambda);
+    const double sigma6 = rij * rij * rij * rij * rij * rij;
+    auto s_of = [&](double rr) {
+      const double r6 = rr * rr * rr * rr * rr * rr;
+      return sigma6 / (r6 + soft * sigma6);
+    };
+    const double s = s_of(r);
+    const double sc = s_of(opts_.cutoff);
+    const double ulj = lambda * eps * ((s * s - 2.0 * s) - (sc * sc - 2.0 * sc));
+    // dU/dr = λ·ε·(2s-2)·ds/dr,  ds/dr = -6 r⁵ s² / σ⁶.
+    const double ds_dr = -6.0 * r * r * r * r * r * s * s / sigma6;
+    const double dulj = lambda * eps * (2.0 * s - 2.0) * ds_dr;
+    // dU/dλ = ε(s²-2s) + λ·ε·(2s-2)·ds/dλ,  ds/dλ = α·s².
+    const double dlj_dl = eps * ((s * s - 2.0 * s) - (sc * sc - 2.0 * sc)) +
+                          lambda * eps * (2.0 * s - 2.0) * kSoftAlpha * s * s;
+
+    // Screened Coulomb, linearly coupled (bounded by the r >= 0.8 clamp).
+    const double kappa = 1.0 / opts_.debye_length;
+    const double qq = 332.0 * bi.charge * bj.charge / opts_.dielectric;
+    const double uel_raw = qq * std::exp(-kappa * r) / r;
+    const double uel_shift =
+        uel_raw - qq * std::exp(-kappa * opts_.cutoff) / opts_.cutoff;
+    const double duel = -uel_raw * (kappa + 1.0 / r);
+
+    e.lj += ulj;
+    e.coulomb += lambda * uel_shift;
+    if (cross) {
+      e.interaction += ulj + lambda * uel_shift;
+      e.dh_dlambda += dlj_dl + uel_shift;
+    }
+
+    if (forces) {
+      const Vec3 dir = d / r;
+      const Vec3 f = dir * (-(dulj + lambda * duel));
+      add_force(j, f);
+      add_force(i, -f);
+    }
+  });
+  last_pairs_ = pairs;
+  return e;
+}
+
+double ForceField::interaction_energy(const std::vector<Vec3>& pos) const {
+  // Direct double loop over the (small) ligand selection against protein.
+  const auto lig = topo_.selection(BeadKind::Ligand);
+  const auto prot = topo_.selection(BeadKind::Protein);
+  const double cutoff2 = opts_.cutoff * opts_.cutoff;
+  double total = 0.0;
+  for (int i : lig) {
+    const Bead& bi = topo_.beads[static_cast<std::size_t>(i)];
+    for (int j : prot) {
+      const Vec3 d = pos[static_cast<std::size_t>(j)] - pos[static_cast<std::size_t>(i)];
+      const double r2 = d.norm2();
+      if (r2 > cutoff2 || is_excluded(i, j)) continue;
+      const double r = std::max(0.8, std::sqrt(r2));
+      const Bead& bj = topo_.beads[static_cast<std::size_t>(j)];
+      double eps = std::sqrt(bi.epsilon * bj.epsilon);
+      if (bi.hydrophobic && bj.hydrophobic) eps *= opts_.hydrophobic_boost;
+      const double rij = bi.radius + bj.radius;
+      const double rr = rij / r;
+      const double rr6 = rr * rr * rr * rr * rr * rr;
+      const double rrc = rij / opts_.cutoff;
+      const double rrc6 = rrc * rrc * rrc * rrc * rrc * rrc;
+      total += eps * (rr6 * rr6 - 2.0 * rr6) - eps * (rrc6 * rrc6 - 2.0 * rrc6);
+      const double qq = 332.0 * bi.charge * bj.charge / opts_.dielectric;
+      total += qq * std::exp(-r / opts_.debye_length) / r -
+               qq * std::exp(-opts_.cutoff / opts_.debye_length) / opts_.cutoff;
+    }
+  }
+  return total;
+}
+
+}  // namespace impeccable::md

@@ -1,0 +1,151 @@
+#include "impeccable/md/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace impeccable::md {
+
+using common::Vec3;
+
+LangevinIntegrator::LangevinIntegrator(const ForceField& ff,
+                                       const LangevinOptions& opts,
+                                       std::uint64_t seed)
+    : ff_(ff), opts_(opts), rng_(seed) {}
+
+void LangevinIntegrator::thermalize(std::vector<Vec3>& vel) {
+  const auto& beads = ff_.topology().beads;
+  vel.resize(beads.size());
+  for (std::size_t i = 0; i < beads.size(); ++i) {
+    const double s = std::sqrt(kBoltzmann * opts_.temperature / beads[i].mass);
+    vel[i] = {rng_.gauss(0, s), rng_.gauss(0, s), rng_.gauss(0, s)};
+  }
+}
+
+double LangevinIntegrator::kinetic_temperature(const std::vector<Vec3>& vel) const {
+  const auto& beads = ff_.topology().beads;
+  double ke = 0.0;
+  for (std::size_t i = 0; i < beads.size(); ++i)
+    ke += 0.5 * beads[i].mass * vel[i].norm2();
+  const double dof = 3.0 * static_cast<double>(beads.size());
+  return 2.0 * ke / (dof * kBoltzmann);
+}
+
+void LangevinIntegrator::run(std::vector<Vec3>& pos, std::vector<Vec3>& vel,
+                             int steps) {
+  const auto& beads = ff_.topology().beads;
+  const double dt = opts_.dt;
+  const double gamma = opts_.friction;
+  const double c1 = std::exp(-gamma * dt);
+  const double kT = kBoltzmann * opts_.temperature;
+
+  if (forces_.size() != pos.size())
+    last_energy_ = ff_.evaluate(pos, &forces_);
+
+  for (int s = 0; s < steps; ++s) {
+    // B: half kick.
+    for (std::size_t i = 0; i < pos.size(); ++i)
+      vel[i] += forces_[i] * (0.5 * dt / beads[i].mass);
+    // A: half drift.
+    for (std::size_t i = 0; i < pos.size(); ++i) pos[i] += vel[i] * (0.5 * dt);
+    // O: Ornstein-Uhlenbeck.
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      const double sigma = std::sqrt(kT * (1.0 - c1 * c1) / beads[i].mass);
+      vel[i] = vel[i] * c1 +
+               Vec3{rng_.gauss(0, sigma), rng_.gauss(0, sigma), rng_.gauss(0, sigma)};
+    }
+    // A: half drift.
+    for (std::size_t i = 0; i < pos.size(); ++i) pos[i] += vel[i] * (0.5 * dt);
+    // B: half kick with fresh forces.
+    last_energy_ = ff_.evaluate(pos, &forces_);
+    for (std::size_t i = 0; i < pos.size(); ++i)
+      vel[i] += forces_[i] * (0.5 * dt / beads[i].mass);
+    ++steps_;
+  }
+}
+
+MinimizeResult minimize_steepest(const ForceField& ff, std::vector<Vec3>& pos,
+                                 int max_iterations, double initial_step) {
+  MinimizeResult res;
+  std::vector<Vec3> forces;
+  double energy = ff.evaluate(pos, &forces).total();
+  res.initial_energy = energy;
+  double step = initial_step;
+
+  for (int it = 0; it < max_iterations; ++it) {
+    double fmax = 0.0;
+    for (const auto& f : forces) fmax = std::max(fmax, f.norm());
+    if (fmax < 1e-4) break;
+
+    std::vector<Vec3> trial(pos.size());
+    for (std::size_t i = 0; i < pos.size(); ++i)
+      trial[i] = pos[i] + forces[i] * (step / std::max(fmax, 1e-9));
+
+    std::vector<Vec3> trial_forces;
+    const double trial_energy = ff.evaluate(trial, &trial_forces).total();
+    ++res.iterations;
+    if (trial_energy < energy) {
+      pos = std::move(trial);
+      forces = std::move(trial_forces);
+      energy = trial_energy;
+      step *= 1.2;
+    } else {
+      step *= 0.5;
+      if (step < 1e-8) break;
+    }
+  }
+  res.final_energy = energy;
+  return res;
+}
+
+MinimizeResult minimize_fire(const ForceField& ff, std::vector<Vec3>& pos,
+                             int max_iterations, double dt0) {
+  MinimizeResult res;
+  std::vector<Vec3> forces;
+  res.initial_energy = ff.evaluate(pos, &forces).total();
+
+  std::vector<Vec3> vel(pos.size());
+  double dt = dt0;
+  const double dt_max = 10 * dt0;
+  double alpha = 0.1;
+  int n_pos = 0;
+
+  double energy = res.initial_energy;
+  for (int it = 0; it < max_iterations; ++it) {
+    // Power P = F·v decides acceleration vs. restart.
+    double power = 0.0, fnorm = 0.0, vnorm = 0.0;
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      power += forces[i].dot(vel[i]);
+      fnorm += forces[i].norm2();
+      vnorm += vel[i].norm2();
+    }
+    fnorm = std::sqrt(fnorm);
+    vnorm = std::sqrt(vnorm);
+    if (fnorm < 1e-4) break;
+
+    if (power > 0.0) {
+      for (std::size_t i = 0; i < pos.size(); ++i)
+        vel[i] = vel[i] * (1 - alpha) + forces[i] * (alpha * vnorm / std::max(fnorm, 1e-12));
+      if (++n_pos > 5) {
+        dt = std::min(dt * 1.1, dt_max);
+        alpha *= 0.99;
+      }
+    } else {
+      for (auto& v : vel) v = Vec3{};
+      dt *= 0.5;
+      alpha = 0.1;
+      n_pos = 0;
+    }
+
+    // Semi-implicit Euler (unit mass in minimization).
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      vel[i] += forces[i] * dt;
+      pos[i] += vel[i] * dt;
+    }
+    energy = ff.evaluate(pos, &forces).total();
+    ++res.iterations;
+  }
+  res.final_energy = energy;
+  return res;
+}
+
+}  // namespace impeccable::md

@@ -1,0 +1,86 @@
+#include "impeccable/md/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace impeccable::md {
+
+void write_pdb(const System& system, const std::vector<common::Vec3>& positions,
+               const std::string& path) {
+  if (positions.size() != static_cast<std::size_t>(system.topology.bead_count()))
+    throw std::invalid_argument("write_pdb: position count mismatch");
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("write_pdb: cannot open " + path);
+
+  int serial = 1;
+  int residue = 1;
+  for (int i = 0; i < system.topology.bead_count(); ++i) {
+    const Bead& b = system.topology.beads[static_cast<std::size_t>(i)];
+    const common::Vec3& p = positions[static_cast<std::size_t>(i)];
+    const bool protein = b.kind == BeadKind::Protein;
+    char line[96];
+    std::snprintf(line, sizeof line,
+                  "%-6s%5d  %-3s %-3s %c%4d    %8.3f%8.3f%8.3f%6.2f%6.2f\n",
+                  protein ? "ATOM" : "HETATM", serial++,
+                  protein ? "CA" : "C", protein ? "ALA" : "LIG",
+                  protein ? 'A' : 'B', protein ? residue++ : 1, p.x, p.y, p.z,
+                  1.0, 0.0);
+    f << line;
+  }
+  f << "END\n";
+}
+
+void write_xyz(const Trajectory& trajectory, const std::string& path,
+               const std::vector<std::string>& elements) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("write_xyz: cannot open " + path);
+  for (const auto& frame : trajectory.frames) {
+    f << frame.positions.size() << "\n";
+    f << "t=" << frame.time << " E=" << frame.energy.total() << "\n";
+    for (std::size_t i = 0; i < frame.positions.size(); ++i) {
+      const std::string sym =
+          i < elements.size() ? elements[i] : std::string("C");
+      char line[96];
+      std::snprintf(line, sizeof line, "%-4s %12.6f %12.6f %12.6f\n",
+                    sym.c_str(), frame.positions[i].x, frame.positions[i].y,
+                    frame.positions[i].z);
+      f << line;
+    }
+  }
+}
+
+Trajectory read_xyz(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_xyz: cannot open " + path);
+  Trajectory traj;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::size_t count = 0;
+    try {
+      count = static_cast<std::size_t>(std::stoul(line));
+    } catch (const std::exception&) {
+      throw std::runtime_error("read_xyz: bad frame header '" + line + "'");
+    }
+    if (!std::getline(f, line))
+      throw std::runtime_error("read_xyz: missing comment line");
+    Frame frame;
+    frame.positions.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!std::getline(f, line))
+        throw std::runtime_error("read_xyz: truncated frame");
+      std::istringstream is(line);
+      std::string sym;
+      common::Vec3 p;
+      if (!(is >> sym >> p.x >> p.y >> p.z))
+        throw std::runtime_error("read_xyz: bad atom line '" + line + "'");
+      frame.positions.push_back(p);
+    }
+    traj.frames.push_back(std::move(frame));
+  }
+  return traj;
+}
+
+}  // namespace impeccable::md

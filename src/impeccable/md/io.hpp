@@ -1,0 +1,33 @@
+#pragma once
+// Structure and trajectory file I/O — the on-disk interchange between
+// pipeline stages (the paper's stages pass PDB structures, trajectory files
+// and CSV score lists between S1, S2 and S3).
+//
+//  * PDB subset:   ATOM/HETATM records; proteins as CA atoms, ligands as
+//                  heavy-atom HETATMs. Good enough for any molecular viewer.
+//  * XYZ trajectory: plain multi-frame XYZ (count / comment / atom lines),
+//                  readable by VMD/OVITO and round-trippable here.
+
+#include <string>
+#include <vector>
+
+#include "impeccable/md/simulation.hpp"
+#include "impeccable/md/system.hpp"
+
+namespace impeccable::md {
+
+/// Write the system at the given coordinates as a minimal PDB file.
+void write_pdb(const System& system, const std::vector<common::Vec3>& positions,
+               const std::string& path);
+
+/// Append/write a trajectory as multi-frame XYZ. Bead element symbols are
+/// "CA" for protein beads and "C" for ligand beads unless `elements` is
+/// given (one symbol per bead).
+void write_xyz(const Trajectory& trajectory, const std::string& path,
+               const std::vector<std::string>& elements = {});
+
+/// Read a multi-frame XYZ file back (positions only; energies/time zeroed).
+/// Throws std::runtime_error on malformed input.
+Trajectory read_xyz(const std::string& path);
+
+}  // namespace impeccable::md

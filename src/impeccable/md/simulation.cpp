@@ -1,0 +1,68 @@
+#include "impeccable/md/simulation.hpp"
+
+#include <algorithm>
+
+#include "impeccable/common/stats.hpp"
+
+namespace impeccable::md {
+
+SimulationResult run_replica(const System& system, const SimulationOptions& opts,
+                             std::uint64_t seed) {
+  SimulationResult res;
+  ForceField ff(system.topology, opts.forcefield);
+
+  std::vector<common::Vec3> pos = system.positions;
+  res.minimization = minimize_steepest(ff, pos, opts.minimize_iterations);
+
+  LangevinIntegrator integrator(ff, opts.langevin, seed);
+  std::vector<common::Vec3> vel;
+  integrator.thermalize(vel);
+
+  std::uint64_t equil_steps = 0;
+  if (opts.equilibration_restraint_k > 0.0 && opts.equilibration_steps > 0) {
+    // Restrained equilibration: hold the protein near the minimized
+    // structure while velocities and the ligand relax.
+    ForceFieldOptions ropts = opts.forcefield;
+    ropts.restraint_k = opts.equilibration_restraint_k;
+    ropts.restraint_ref = pos;
+    ropts.restrained = system.topology.selection(BeadKind::Protein);
+    ForceField restrained_ff(system.topology, ropts);
+    LangevinIntegrator equil(restrained_ff, opts.langevin, seed ^ 0xe471);
+    equil.run(pos, vel, opts.equilibration_steps);
+    equil_steps = equil.steps_taken();
+  } else {
+    integrator.run(pos, vel, opts.equilibration_steps);
+  }
+
+  common::RunningStats temp;
+  double time = 0.0;
+  const int chunks =
+      (opts.production_steps + opts.report_interval - 1) / opts.report_interval;
+  res.trajectory.frames.reserve(static_cast<std::size_t>(chunks));
+  int remaining = opts.production_steps;
+  while (remaining > 0) {
+    const int n = std::min(opts.report_interval, remaining);
+    integrator.run(pos, vel, n);
+    remaining -= n;
+    time += n * opts.langevin.dt;
+    temp.add(integrator.kinetic_temperature(vel));
+
+    Frame f;
+    f.positions = pos;
+    f.energy = integrator.last_energy();
+    f.time = time;
+    res.trajectory.frames.push_back(std::move(f));
+  }
+  res.md_steps = integrator.steps_taken() + equil_steps;
+  res.mean_temperature = temp.count() ? temp.mean() : 0.0;
+  return res;
+}
+
+std::uint64_t flops_per_md_step(int beads, std::uint64_t pairs) {
+  // BAOAB: ~30 flops/bead for the kick/drift/OU updates; bonded terms ~60
+  // flops each amortized into the per-bead figure; each nonbonded pair costs
+  // ~70 flops (distance, exp, LJ powers, force assembly).
+  return static_cast<std::uint64_t>(beads) * 90 + pairs * 70;
+}
+
+}  // namespace impeccable::md

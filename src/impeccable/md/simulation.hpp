@@ -1,0 +1,54 @@
+#pragma once
+// Simulation driver: minimize → equilibrate → produce, recording a
+// trajectory. One Simulation::run corresponds to one ESMACS replica or one
+// DeepDriveMD sampling segment.
+
+#include <cstdint>
+#include <vector>
+
+#include "impeccable/md/integrator.hpp"
+#include "impeccable/md/system.hpp"
+
+namespace impeccable::md {
+
+/// One stored trajectory frame.
+struct Frame {
+  std::vector<common::Vec3> positions;
+  EnergyBreakdown energy;
+  double time = 0.0;  ///< in integration time units
+};
+
+struct Trajectory {
+  std::vector<Frame> frames;
+  std::size_t size() const { return frames.size(); }
+};
+
+struct SimulationOptions {
+  ForceFieldOptions forcefield;
+  LangevinOptions langevin;
+  int minimize_iterations = 150;
+  int equilibration_steps = 200;
+  int production_steps = 800;
+  int report_interval = 20;  ///< store a frame every N production steps
+  /// If > 0, the protein is position-restrained towards the minimized
+  /// structure during equilibration (the standard restrained-equilibration
+  /// step of the ESMACS setup); production always runs unrestrained.
+  double equilibration_restraint_k = 0.0;
+};
+
+struct SimulationResult {
+  Trajectory trajectory;
+  MinimizeResult minimization;
+  std::uint64_t md_steps = 0;  ///< work units for flop accounting
+  double mean_temperature = 0.0;
+};
+
+/// Run one replica. Deterministic per (system, options, seed).
+SimulationResult run_replica(const System& system, const SimulationOptions& opts,
+                             std::uint64_t seed);
+
+/// Approximate flops for one MD step of a system with `beads` beads and
+/// ~`pairs` nonbonded pairs (Table 3 / Table 2 cost-model input).
+std::uint64_t flops_per_md_step(int beads, std::uint64_t pairs);
+
+}  // namespace impeccable::md

@@ -1,0 +1,155 @@
+#include "impeccable/md/system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "impeccable/common/rng.hpp"
+#include "impeccable/dock/ligand.hpp"
+
+namespace impeccable::md {
+
+using common::Rng;
+using common::Vec3;
+
+System build_protein(std::uint64_t seed, const ProteinOptions& opts) {
+  System sys;
+  Rng rng(seed ^ 0x9807e14eULL);
+
+  // Spherical spiral: the chain winds around the pocket from pole to pole,
+  // with radial jitter. Leaves the +z mouth open like the docking receptor.
+  const int n = opts.residues;
+  sys.positions.reserve(static_cast<std::size_t>(n));
+  const double turns = std::max(3.0, n / 18.0);
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / (n - 1);       // 0..1
+    const double polar = (0.15 + 0.75 * t) * 3.14159265358979; // avoid the mouth
+    const double azim = turns * 2.0 * 3.14159265358979 * t;
+    const double radius = opts.pocket_radius + rng.uniform(0.0, 2.5);
+    sys.positions.push_back(Vec3{radius * std::sin(polar) * std::cos(azim),
+                                 radius * std::sin(polar) * std::sin(azim),
+                                 radius * std::cos(polar)});
+  }
+
+  // Beads with residue-like character.
+  for (int i = 0; i < n; ++i) {
+    Bead b;
+    b.kind = BeadKind::Protein;
+    b.mass = 110.0;  // average residue mass
+    b.radius = 2.3;
+    // Residue-level beads subsume side-chain contacts: deeper wells than a
+    // single heavy atom, so bound poses score tens of kcal/mol (Fig. 5A).
+    b.epsilon = 0.6;
+    const double u = rng.uniform();
+    if (u < opts.charged_fraction) {
+      b.charge = rng.bernoulli(0.5) ? 0.8 : -0.8;
+    } else if (u < opts.charged_fraction + opts.hydrophobic_fraction) {
+      b.hydrophobic = true;
+    } else {
+      b.charge = rng.uniform(-0.2, 0.2);
+    }
+    sys.topology.beads.push_back(b);
+  }
+  sys.protein_beads = n;
+
+  // Backbone bonds and angles.
+  for (int i = 0; i + 1 < n; ++i) {
+    HarmonicBond bond;
+    bond.a = i;
+    bond.b = i + 1;
+    bond.length = common::distance(sys.positions[static_cast<std::size_t>(i)],
+                                   sys.positions[static_cast<std::size_t>(i + 1)]);
+    bond.k = 40.0;
+    sys.topology.bonds.push_back(bond);
+  }
+  for (int i = 0; i + 2 < n; ++i) {
+    HarmonicAngle ang;
+    ang.a = i;
+    ang.b = i + 1;
+    ang.c = i + 2;
+    const Vec3 r1 = sys.positions[static_cast<std::size_t>(i)] -
+                    sys.positions[static_cast<std::size_t>(i + 1)];
+    const Vec3 r2 = sys.positions[static_cast<std::size_t>(i + 2)] -
+                    sys.positions[static_cast<std::size_t>(i + 1)];
+    ang.theta0 = std::acos(std::clamp(
+        r1.dot(r2) / (r1.norm() * r2.norm()), -1.0, 1.0));
+    ang.k = 8.0;
+    sys.topology.angles.push_back(ang);
+  }
+
+  // Elastic network: native contacts as soft bonds at their current length.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 3; j < n; ++j) {
+      const double d = common::distance(sys.positions[static_cast<std::size_t>(i)],
+                                        sys.positions[static_cast<std::size_t>(j)]);
+      if (d < opts.contact_cutoff) {
+        HarmonicBond en;
+        en.a = i;
+        en.b = j;
+        en.length = d;
+        en.k = opts.network_k;
+        sys.topology.bonds.push_back(en);
+      }
+    }
+  }
+  return sys;
+}
+
+System build_lpc(const System& protein, const chem::Molecule& mol,
+                 const std::vector<Vec3>& coords) {
+  if (static_cast<int>(coords.size()) != mol.atom_count())
+    throw std::invalid_argument("build_lpc: coords/molecule size mismatch");
+
+  System sys = protein;
+  const int offset = sys.topology.bead_count();
+
+  const auto charges = dock::partial_charges(mol);
+  for (int i = 0; i < mol.atom_count(); ++i) {
+    Bead b;
+    b.kind = BeadKind::Ligand;
+    const chem::ElementInfo& ei = chem::info(mol.atom(i).element);
+    b.mass = ei.mass;
+    b.radius = ei.vdw_radius;
+    // United-atom heavy beads carry their hydrogens: deepen the well.
+    b.epsilon = std::max(0.3, ei.well_depth);
+    b.charge = charges[static_cast<std::size_t>(i)];
+    b.hydrophobic = ei.hydrophobicity > 0.3 && mol.hydrogen_count(i) > 0;
+    sys.topology.beads.push_back(b);
+    sys.positions.push_back(coords[static_cast<std::size_t>(i)]);
+  }
+  sys.ligand_beads = mol.atom_count();
+
+  for (int bi = 0; bi < mol.bond_count(); ++bi) {
+    const chem::Bond& b = mol.bond(bi);
+    HarmonicBond bond;
+    bond.a = offset + b.a;
+    bond.b = offset + b.b;
+    bond.length = common::distance(coords[static_cast<std::size_t>(b.a)],
+                                   coords[static_cast<std::size_t>(b.b)]);
+    bond.k = 80.0;
+    sys.topology.bonds.push_back(bond);
+  }
+  // Ligand 1-3 angles from the graph.
+  for (int j = 0; j < mol.atom_count(); ++j) {
+    const auto nbrs = mol.neighbors(j);
+    for (std::size_t x = 0; x < nbrs.size(); ++x) {
+      for (std::size_t y = x + 1; y < nbrs.size(); ++y) {
+        HarmonicAngle ang;
+        ang.a = offset + nbrs[x];
+        ang.b = offset + j;
+        ang.c = offset + nbrs[y];
+        const Vec3 r1 = coords[static_cast<std::size_t>(nbrs[x])] -
+                        coords[static_cast<std::size_t>(j)];
+        const Vec3 r2 = coords[static_cast<std::size_t>(nbrs[y])] -
+                        coords[static_cast<std::size_t>(j)];
+        ang.theta0 = std::acos(std::clamp(
+            r1.dot(r2) / std::max(1e-9, r1.norm() * r2.norm()), -1.0, 1.0));
+        ang.k = 15.0;
+        sys.topology.angles.push_back(ang);
+      }
+    }
+  }
+  return sys;
+}
+
+}  // namespace impeccable::md

@@ -1,0 +1,52 @@
+#pragma once
+// System builders: procedural Cα protein models and protein-ligand complexes
+// (LPCs) seeded from docking poses.
+//
+// Substitution note (DESIGN.md): the paper simulates crystal-structure-based
+// all-atom systems (e.g. PLPro, 309 Cα atoms). We synthesize a globular Cα
+// chain around a binding pocket from the same seed that generated the
+// docking receptor, so S1 → S3 hand-off mirrors the paper's: the docked
+// ligand coordinates are placed into the pocket of the MD protein.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "impeccable/chem/molecule.hpp"
+#include "impeccable/md/topology.hpp"
+
+namespace impeccable::md {
+
+/// A simulation-ready system: topology + initial coordinates.
+struct System {
+  Topology topology;
+  std::vector<common::Vec3> positions;
+
+  int protein_beads = 0;  ///< beads [0, protein_beads) are protein
+  int ligand_beads = 0;   ///< beads [protein_beads, protein_beads+ligand_beads)
+};
+
+struct ProteinOptions {
+  int residues = 120;          ///< Cα count
+  /// Å cavity kept free around the origin. Matches the docking receptor's
+  /// pocket radius (7 Å wall + jitter) so transplanted poses make contact.
+  double pocket_radius = 7.0;
+  double contact_cutoff = 7.5; ///< Å elastic-network cutoff
+  double network_k = 0.4;      ///< kcal/mol/Å² elastic-network stiffness
+  double charged_fraction = 0.25;
+  double hydrophobic_fraction = 0.4;
+};
+
+/// Build a folded Cα chain wrapped around a central pocket. The chain walks
+/// a spherical spiral with radial noise; consecutive beads are bonded, 1-3
+/// angles keep local stiffness, and an elastic network of native contacts
+/// (added as extra bonds) holds the fold — a standard Gō/ANM-style model.
+System build_protein(std::uint64_t seed, const ProteinOptions& opts = {});
+
+/// Append a ligand to a protein system: heavy atoms of `mol` become beads at
+/// `coords` (typically the docked pose), bonded per the molecular graph.
+/// Returns the combined system; the protein part is copied from `protein`.
+System build_lpc(const System& protein, const chem::Molecule& mol,
+                 const std::vector<common::Vec3>& coords);
+
+}  // namespace impeccable::md

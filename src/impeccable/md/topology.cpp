@@ -1,0 +1,30 @@
+#include "impeccable/md/topology.hpp"
+
+#include <algorithm>
+
+namespace impeccable::md {
+
+std::vector<int> Topology::selection(BeadKind kind) const {
+  std::vector<int> out;
+  for (int i = 0; i < bead_count(); ++i)
+    if (beads[static_cast<std::size_t>(i)].kind == kind) out.push_back(i);
+  return out;
+}
+
+bool Topology::bonded(int i, int j) const {
+  for (const auto& b : bonds)
+    if ((b.a == i && b.b == j) || (b.a == j && b.b == i)) return true;
+  return false;
+}
+
+std::vector<std::pair<int, int>> Topology::exclusions() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(bonds.size());
+  for (const auto& b : bonds)
+    out.emplace_back(std::min(b.a, b.b), std::max(b.a, b.b));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace impeccable::md

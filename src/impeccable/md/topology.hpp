@@ -1,0 +1,55 @@
+#pragma once
+// Coarse-grained MD topology.
+//
+// Substitution note (DESIGN.md): stands in for OpenMM/NAMD all-atom systems.
+// Proteins are Cα bead chains held by bonds, angles and an elastic network
+// (anisotropic-network-model style); ligands are heavy-atom beads with the
+// molecular connectivity. This reproduces the statistical behaviour ESMACS
+// and DeepDriveMD consume — ensemble variance, conformational drift, contact
+// dynamics — at laptop cost.
+
+#include <cstdint>
+#include <vector>
+
+#include "impeccable/common/vec3.hpp"
+
+namespace impeccable::md {
+
+enum class BeadKind : std::uint8_t { Protein, Ligand };
+
+struct Bead {
+  double mass = 12.0;       ///< amu
+  double charge = 0.0;      ///< e
+  double radius = 2.0;      ///< Å (LJ sigma/2-ish)
+  double epsilon = 0.15;    ///< kcal/mol
+  bool hydrophobic = false;
+  BeadKind kind = BeadKind::Protein;
+};
+
+struct HarmonicBond {
+  int a = -1, b = -1;
+  double length = 3.8;  ///< Å (Cα-Cα virtual bond default)
+  double k = 40.0;      ///< kcal/mol/Å²
+};
+
+struct HarmonicAngle {
+  int a = -1, b = -1, c = -1;
+  double theta0 = 2.0;  ///< radians
+  double k = 8.0;       ///< kcal/mol/rad²
+};
+
+struct Topology {
+  std::vector<Bead> beads;
+  std::vector<HarmonicBond> bonds;
+  std::vector<HarmonicAngle> angles;
+
+  int bead_count() const { return static_cast<int>(beads.size()); }
+  /// Indices of protein (resp. ligand) beads, in order.
+  std::vector<int> selection(BeadKind kind) const;
+  /// True if beads i and j share a bond (used for nonbonded exclusion).
+  bool bonded(int i, int j) const;
+  /// Precompute the nonbonded exclusion set (1-2 pairs).
+  std::vector<std::pair<int, int>> exclusions() const;
+};
+
+}  // namespace impeccable::md

@@ -1,0 +1,328 @@
+#include "impeccable/ml/layers.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace impeccable::ml {
+
+void Layer::zero_grad() {
+  for (auto p : params()) p.grad->zero();
+}
+
+// ---------------------------------------------------------------- Dense
+
+Dense::Dense(int in, int out, common::Rng& rng)
+    : weight(Tensor::randn({out, in}, rng,
+                           std::sqrt(2.0f / static_cast<float>(in)))),
+      bias({out}),
+      weight_grad({out, in}),
+      bias_grad({out}) {}
+
+Tensor Dense::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != weight.dim(1))
+    throw std::invalid_argument("Dense::forward: bad input shape " + x.shape_string());
+  input_ = x;
+  const int n = x.dim(0), in = weight.dim(1), out = weight.dim(0);
+  Tensor y({n, out});
+  for (int i = 0; i < n; ++i) {
+    for (int o = 0; o < out; ++o) {
+      float acc = bias[static_cast<std::size_t>(o)];
+      const float* wr = weight.data() + static_cast<std::size_t>(o) * in;
+      const float* xr = x.data() + static_cast<std::size_t>(i) * in;
+      for (int k = 0; k < in; ++k) acc += wr[k] * xr[k];
+      y.at(i, o) = acc;
+    }
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const int n = input_.dim(0), in = weight.dim(1), out = weight.dim(0);
+  Tensor grad_in({n, in});
+  for (int i = 0; i < n; ++i) {
+    const float* gr = grad_out.data() + static_cast<std::size_t>(i) * out;
+    const float* xr = input_.data() + static_cast<std::size_t>(i) * in;
+    for (int o = 0; o < out; ++o) {
+      const float g = gr[o];
+      bias_grad[static_cast<std::size_t>(o)] += g;
+      float* wg = weight_grad.data() + static_cast<std::size_t>(o) * in;
+      const float* wr = weight.data() + static_cast<std::size_t>(o) * in;
+      float* gi = grad_in.data() + static_cast<std::size_t>(i) * in;
+      for (int k = 0; k < in; ++k) {
+        wg[k] += g * xr[k];
+        gi[k] += g * wr[k];
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param> Dense::params() {
+  return {{&weight, &weight_grad}, {&bias, &bias_grad}};
+}
+
+// ---------------------------------------------------------------- ReLU
+
+Tensor ReLU::forward(const Tensor& x) {
+  mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool on = x[i] > 0.0f;
+    mask_[i] = on ? 1.0f : 0.0f;
+    y[i] = on ? x[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  check_same_shape(grad_out, mask_, "ReLU::backward");
+  Tensor g(grad_out.shape());
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] = grad_out[i] * mask_[i];
+  return g;
+}
+
+// ---------------------------------------------------------------- Sigmoid
+
+Tensor Sigmoid::forward(const Tensor& x) {
+  output_ = Tensor(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    output_[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  return output_;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  Tensor g(grad_out.shape());
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = grad_out[i] * output_[i] * (1.0f - output_[i]);
+  return g;
+}
+
+// ---------------------------------------------------------------- Conv3x3
+
+Conv3x3::Conv3x3(int in_channels, int out_channels, common::Rng& rng)
+    : weight(Tensor::randn({out_channels, in_channels, 3, 3}, rng,
+                           std::sqrt(2.0f / (9.0f * in_channels)))),
+      bias({out_channels}),
+      weight_grad({out_channels, in_channels, 3, 3}),
+      bias_grad({out_channels}) {}
+
+Tensor Conv3x3::forward(const Tensor& x) {
+  if (x.rank() != 4 || x.dim(1) != weight.dim(1))
+    throw std::invalid_argument("Conv3x3::forward: bad input " + x.shape_string());
+  input_ = x;
+  const int n = x.dim(0), cin = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int cout = weight.dim(0);
+  Tensor y({n, cout, h, w});
+  for (int b = 0; b < n; ++b) {
+    for (int co = 0; co < cout; ++co) {
+      for (int i = 0; i < h; ++i) {
+        for (int j = 0; j < w; ++j) {
+          float acc = bias[static_cast<std::size_t>(co)];
+          for (int ci = 0; ci < cin; ++ci) {
+            for (int di = -1; di <= 1; ++di) {
+              const int ii = i + di;
+              if (ii < 0 || ii >= h) continue;
+              for (int dj = -1; dj <= 1; ++dj) {
+                const int jj = j + dj;
+                if (jj < 0 || jj >= w) continue;
+                acc += weight.at(co, ci, di + 1, dj + 1) * x.at(b, ci, ii, jj);
+              }
+            }
+          }
+          y.at(b, co, i, j) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv3x3::backward(const Tensor& grad_out) {
+  const int n = input_.dim(0), cin = input_.dim(1), h = input_.dim(2),
+            w = input_.dim(3);
+  const int cout = weight.dim(0);
+  Tensor grad_in({n, cin, h, w});
+  for (int b = 0; b < n; ++b) {
+    for (int co = 0; co < cout; ++co) {
+      for (int i = 0; i < h; ++i) {
+        for (int j = 0; j < w; ++j) {
+          const float g = grad_out.at(b, co, i, j);
+          if (g == 0.0f) continue;
+          bias_grad[static_cast<std::size_t>(co)] += g;
+          for (int ci = 0; ci < cin; ++ci) {
+            for (int di = -1; di <= 1; ++di) {
+              const int ii = i + di;
+              if (ii < 0 || ii >= h) continue;
+              for (int dj = -1; dj <= 1; ++dj) {
+                const int jj = j + dj;
+                if (jj < 0 || jj >= w) continue;
+                weight_grad.at(co, ci, di + 1, dj + 1) += g * input_.at(b, ci, ii, jj);
+                grad_in.at(b, ci, ii, jj) += g * weight.at(co, ci, di + 1, dj + 1);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param> Conv3x3::params() {
+  return {{&weight, &weight_grad}, {&bias, &bias_grad}};
+}
+
+// ---------------------------------------------------------------- MaxPool2
+
+Tensor MaxPool2::forward(const Tensor& x) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = h / 2, ow = w / 2;
+  in_shape_ = x.shape();
+  Tensor y({n, c, oh, ow});
+  argmax_.assign(y.size(), 0);
+  std::size_t out_idx = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int i = 0; i < oh; ++i) {
+        for (int j = 0; j < ow; ++j, ++out_idx) {
+          float best = -1e30f;
+          int best_flat = 0;
+          for (int di = 0; di < 2; ++di) {
+            for (int dj = 0; dj < 2; ++dj) {
+              const int ii = 2 * i + di, jj = 2 * j + dj;
+              const float v = x.at(b, ch, ii, jj);
+              if (v > best) {
+                best = v;
+                best_flat = ((b * c + ch) * h + ii) * w + jj;
+              }
+            }
+          }
+          y[out_idx] = best;
+          argmax_[out_idx] = best_flat;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    grad_in[static_cast<std::size_t>(argmax_[i])] += grad_out[i];
+  return grad_in;
+}
+
+// ---------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  int rest = 1;
+  for (int d = 1; d < x.rank(); ++d) rest *= x.dim(d);
+  return x.reshaped({x.dim(0), rest});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(in_shape_);
+}
+
+// ---------------------------------------------------------------- Residual
+
+ResidualBlock::ResidualBlock(int channels, common::Rng& rng)
+    : conv1_(channels, channels, rng), conv2_(channels, channels, rng) {}
+
+Tensor ResidualBlock::forward(const Tensor& x) {
+  Tensor h = conv2_.forward(relu1_.forward(conv1_.forward(x)));
+  h += x;
+  return relu_out_.forward(h);
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  const Tensor g = relu_out_.backward(grad_out);
+  Tensor gx = conv1_.backward(relu1_.backward(conv2_.backward(g)));
+  gx += g;  // the identity skip
+  return gx;
+}
+
+std::vector<Param> ResidualBlock::params() {
+  auto p = conv1_.params();
+  for (auto q : conv2_.params()) p.push_back(q);
+  return p;
+}
+
+// ------------------------------------------------------------- serialization
+
+namespace {
+constexpr std::uint32_t kWeightsMagic = 0x57504d49;  // "IMPW"
+}
+
+void save_parameters(Layer& layer, const std::string& path) {
+  const auto params = layer.params();
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("save_parameters: cannot open " + path);
+  auto put_u32 = [&](std::uint32_t v) {
+    f.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  put_u32(kWeightsMagic);
+  put_u32(static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) {
+    put_u32(static_cast<std::uint32_t>(p.value->rank()));
+    for (int d = 0; d < p.value->rank(); ++d)
+      put_u32(static_cast<std::uint32_t>(p.value->dim(d)));
+    f.write(reinterpret_cast<const char*>(p.value->data()),
+            static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+  }
+}
+
+void load_parameters(Layer& layer, const std::string& path) {
+  const auto params = layer.params();
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_parameters: cannot open " + path);
+  auto get_u32 = [&]() {
+    std::uint32_t v = 0;
+    f.read(reinterpret_cast<char*>(&v), sizeof v);
+    if (!f) throw std::runtime_error("load_parameters: truncated file");
+    return v;
+  };
+  if (get_u32() != kWeightsMagic)
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  if (get_u32() != params.size())
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  for (const auto& p : params) {
+    if (static_cast<int>(get_u32()) != p.value->rank())
+      throw std::runtime_error("load_parameters: rank mismatch");
+    for (int d = 0; d < p.value->rank(); ++d)
+      if (static_cast<int>(get_u32()) != p.value->dim(d))
+        throw std::runtime_error("load_parameters: shape mismatch");
+    f.read(reinterpret_cast<char*>(p.value->data()),
+           static_cast<std::streamsize>(p.value->size() * sizeof(float)));
+    if (!f) throw std::runtime_error("load_parameters: truncated weights");
+  }
+}
+
+// ---------------------------------------------------------------- Sequential
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+std::vector<Param> Sequential::params() {
+  std::vector<Param> out;
+  for (auto& l : layers_)
+    for (auto p : l->params()) out.push_back(p);
+  return out;
+}
+
+}  // namespace impeccable::ml

@@ -1,0 +1,136 @@
+#pragma once
+// Neural-network layers with explicit forward/backward passes.
+//
+// Each layer caches what it needs from the forward pass; backward() takes
+// dL/d(output) and returns dL/d(input) while accumulating parameter
+// gradients. Optimizers consume the (value, grad) parameter pairs.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "impeccable/ml/tensor.hpp"
+
+namespace impeccable::ml {
+
+struct Param {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Tensor forward(const Tensor& x) = 0;
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual std::vector<Param> params() { return {}; }
+  void zero_grad();
+};
+
+/// Fully connected: (N, in) -> (N, out).
+class Dense : public Layer {
+ public:
+  Dense(int in, int out, common::Rng& rng);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param> params() override;
+
+  Tensor weight;  ///< (out, in)
+  Tensor bias;    ///< (out)
+  Tensor weight_grad, bias_grad;
+
+ private:
+  Tensor input_;
+};
+
+/// Elementwise ReLU.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor mask_;
+};
+
+/// Elementwise logistic sigmoid.
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor output_;
+};
+
+/// 3x3 same-padding convolution, stride 1: (N, Cin, H, W) -> (N, Cout, H, W).
+class Conv3x3 : public Layer {
+ public:
+  Conv3x3(int in_channels, int out_channels, common::Rng& rng);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param> params() override;
+
+  Tensor weight;  ///< (Cout, Cin, 3, 3)
+  Tensor bias;    ///< (Cout)
+  Tensor weight_grad, bias_grad;
+
+ private:
+  Tensor input_;
+};
+
+/// 2x2 max pooling, stride 2: (N, C, H, W) -> (N, C, H/2, W/2).
+class MaxPool2 : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<int> argmax_;
+  std::vector<int> in_shape_;
+};
+
+/// (N, C, H, W) -> (N, C*H*W).
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<int> in_shape_;
+};
+
+/// Residual block: y = ReLU(x + Conv(ReLU(Conv(x)))). Channel-preserving —
+/// the skip is the identity (the ResNet basic block of the ML1 surrogate).
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(int channels, common::Rng& rng);
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param> params() override;
+
+ private:
+  Conv3x3 conv1_, conv2_;
+  ReLU relu1_, relu_out_;
+};
+
+/// Serialize every parameter tensor of a layer to a binary file
+/// (shape-checked on load; mismatched architectures throw).
+void save_parameters(Layer& layer, const std::string& path);
+void load_parameters(Layer& layer, const std::string& path);
+
+/// Layer pipeline.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param> params() override;
+  std::size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace impeccable::ml

@@ -1,0 +1,76 @@
+#include "impeccable/ml/lof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace impeccable::ml {
+
+std::vector<double> local_outlier_factor(
+    const std::vector<std::vector<double>>& points, int k) {
+  const std::size_t n = points.size();
+  if (n < 2) return std::vector<double>(n, 1.0);
+  k = std::clamp<int>(k, 1, static_cast<int>(n) - 1);
+
+  auto dist = [&](std::size_t a, std::size_t b) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < points[a].size(); ++d) {
+      const double v = points[a][d] - points[b][d];
+      acc += v * v;
+    }
+    return std::sqrt(acc);
+  };
+
+  // k-nearest neighbours and k-distance per point.
+  std::vector<std::vector<std::size_t>> knn(n);
+  std::vector<double> kdist(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t> idx;
+    idx.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) idx.push_back(j);
+    std::nth_element(idx.begin(), idx.begin() + (k - 1), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return dist(i, a) < dist(i, b);
+                     });
+    idx.resize(static_cast<std::size_t>(k));
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return dist(i, a) < dist(i, b); });
+    kdist[i] = dist(i, idx.back());
+    knn[i] = std::move(idx);
+  }
+
+  // Local reachability density.
+  std::vector<double> lrd(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double reach_sum = 0.0;
+    for (std::size_t j : knn[i])
+      reach_sum += std::max(kdist[j], dist(i, j));
+    lrd[i] = reach_sum > 0.0 ? static_cast<double>(k) / reach_sum : 1e12;
+  }
+
+  // LOF = mean neighbour lrd / own lrd.
+  std::vector<double> lof(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j : knn[i]) acc += lrd[j];
+    lof[i] = lrd[i] > 0.0 ? acc / (static_cast<double>(k) * lrd[i]) : 1.0;
+  }
+  return lof;
+}
+
+std::vector<std::size_t> top_outliers(const std::vector<double>& lof_scores,
+                                      std::size_t count) {
+  std::vector<std::size_t> idx(lof_scores.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  count = std::min(count, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + count, idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return lof_scores[a] > lof_scores[b];
+                    });
+  idx.resize(count);
+  return idx;
+}
+
+}  // namespace impeccable::ml

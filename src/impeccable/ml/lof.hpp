@@ -1,0 +1,20 @@
+#pragma once
+// Local Outlier Factor (Breunig et al. 2000) — the outlier detector S2 runs
+// on the 3D-AAE latent manifold to pick "interesting" LPC conformations for
+// S3-FG (Sec. 5.1.4).
+
+#include <vector>
+
+namespace impeccable::ml {
+
+/// LOF scores for row-major points (n rows, `dim` columns). Values near 1
+/// are inliers; substantially greater than 1 are outliers. k is the
+/// neighbourhood size (clamped to n-1).
+std::vector<double> local_outlier_factor(const std::vector<std::vector<double>>& points,
+                                         int k = 10);
+
+/// Indices of the `count` highest-LOF points, sorted by score descending.
+std::vector<std::size_t> top_outliers(const std::vector<double>& lof_scores,
+                                      std::size_t count);
+
+}  // namespace impeccable::ml

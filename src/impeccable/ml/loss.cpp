@@ -1,0 +1,100 @@
+#include "impeccable/ml/loss.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace impeccable::ml {
+
+LossValue mse_loss(const Tensor& pred, const Tensor& target) {
+  check_same_shape(pred, target, "mse_loss");
+  LossValue out;
+  out.grad = Tensor(pred.shape());
+  const float inv = 1.0f / static_cast<float>(pred.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred[i] - target[i];
+    acc += d * d;
+    out.grad[i] = 2.0f * d * inv;
+  }
+  out.value = static_cast<float>(acc * inv);
+  return out;
+}
+
+LossValue bce_loss(const Tensor& pred, const Tensor& target) {
+  check_same_shape(pred, target, "bce_loss");
+  LossValue out;
+  out.grad = Tensor(pred.shape());
+  const float inv = 1.0f / static_cast<float>(pred.size());
+  const float eps = 1e-7f;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float p = std::min(1.0f - eps, std::max(eps, pred[i]));
+    const float t = target[i];
+    acc += -(t * std::log(p) + (1 - t) * std::log(1 - p));
+    out.grad[i] = (p - t) / (p * (1 - p)) * inv;
+  }
+  out.value = static_cast<float>(acc * inv);
+  return out;
+}
+
+LossValue chamfer_loss(const Tensor& pred, const Tensor& target) {
+  if (pred.rank() != 3 || pred.dim(2) != 3)
+    throw std::invalid_argument("chamfer_loss: pred must be (N, P, 3)");
+  if (target.rank() != 3 || target.dim(2) != 3 || target.dim(0) != pred.dim(0))
+    throw std::invalid_argument("chamfer_loss: target must be (N, Q, 3)");
+
+  const int n = pred.dim(0), p = pred.dim(1), q = target.dim(1);
+  LossValue out;
+  out.grad = Tensor(pred.shape());
+  double total = 0.0;
+
+  auto point = [](const Tensor& t, int b, int i) {
+    const std::size_t base = (static_cast<std::size_t>(b) * t.dim(1) + i) * 3;
+    return common::Vec3{t[base], t[base + 1], t[base + 2]};
+  };
+  auto add_grad = [&](int b, int i, const common::Vec3& g) {
+    const std::size_t base = (static_cast<std::size_t>(b) * p + i) * 3;
+    out.grad[base] += static_cast<float>(g.x);
+    out.grad[base + 1] += static_cast<float>(g.y);
+    out.grad[base + 2] += static_cast<float>(g.z);
+  };
+
+  for (int b = 0; b < n; ++b) {
+    // pred -> target term.
+    for (int i = 0; i < p; ++i) {
+      const common::Vec3 a = point(pred, b, i);
+      double best = std::numeric_limits<double>::max();
+      common::Vec3 bestb;
+      for (int j = 0; j < q; ++j) {
+        const common::Vec3 c = point(target, b, j);
+        const double d = common::distance2(a, c);
+        if (d < best) {
+          best = d;
+          bestb = c;
+        }
+      }
+      total += best / (n * p);
+      add_grad(b, i, (a - bestb) * (2.0 / (n * p)));
+    }
+    // target -> pred term.
+    for (int j = 0; j < q; ++j) {
+      const common::Vec3 c = point(target, b, j);
+      double best = std::numeric_limits<double>::max();
+      int besti = 0;
+      for (int i = 0; i < p; ++i) {
+        const double d = common::distance2(point(pred, b, i), c);
+        if (d < best) {
+          best = d;
+          besti = i;
+        }
+      }
+      total += best / (n * q);
+      add_grad(b, besti, (point(pred, b, besti) - c) * (2.0 / (n * q)));
+    }
+  }
+  out.value = static_cast<float>(total);
+  return out;
+}
+
+}  // namespace impeccable::ml

@@ -1,0 +1,28 @@
+#pragma once
+// Losses: MSE / BCE for the surrogate, Chamfer distance for the 3D-AAE
+// point-cloud reconstruction (Sec. 5.1.4).
+
+#include <vector>
+
+#include "impeccable/common/vec3.hpp"
+#include "impeccable/ml/tensor.hpp"
+
+namespace impeccable::ml {
+
+struct LossValue {
+  float value = 0.0f;
+  Tensor grad;  ///< dL/d(prediction), same shape as the prediction
+};
+
+/// Mean squared error over all elements.
+LossValue mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Binary cross entropy; predictions must be in (0, 1).
+LossValue bce_loss(const Tensor& pred, const Tensor& target);
+
+/// Symmetric Chamfer distance between batched point sets, both (N, P, 3):
+///   mean_i min_j |a_i - b_j|^2 + mean_j min_i |a_i - b_j|^2
+/// Gradient is with respect to `pred`.
+LossValue chamfer_loss(const Tensor& pred, const Tensor& target);
+
+}  // namespace impeccable::ml

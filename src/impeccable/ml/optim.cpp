@@ -1,0 +1,96 @@
+#include "impeccable/ml/optim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace impeccable::ml {
+
+Sgd::Sgd(std::vector<Param> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  for (auto& p : params_) velocity_.emplace_back(p.value->shape());
+}
+
+void Sgd::apply() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& v = velocity_[k];
+    Tensor& w = *params_[k].value;
+    const Tensor& g = *params_[k].grad;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      v[i] = momentum_ * v[i] - lr_ * g[i];
+      w[i] += v[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  for (auto& p : params_) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::apply() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = *params_[k].value;
+    const Tensor& g = *params_[k].grad;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m_[k][i] = beta1_ * m_[k][i] + (1 - beta1_) * g[i];
+      v_[k][i] = beta2_ * v_[k][i] + (1 - beta2_) * g[i] * g[i];
+      const float mh = m_[k][i] / bc1;
+      const float vh = v_[k][i] / bc2;
+      w[i] -= lr_ * mh / (std::sqrt(vh) + eps_);
+    }
+  }
+}
+
+RmsProp::RmsProp(std::vector<Param> params, float lr, float rho, float eps)
+    : Optimizer(std::move(params)), lr_(lr), rho_(rho), eps_(eps) {
+  for (auto& p : params_) sq_.emplace_back(p.value->shape());
+}
+
+void RmsProp::apply() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = *params_[k].value;
+    const Tensor& g = *params_[k].grad;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      sq_[k][i] = rho_ * sq_[k][i] + (1 - rho_) * g[i] * g[i];
+      w[i] -= lr_ * g[i] / (std::sqrt(sq_[k][i]) + eps_);
+    }
+  }
+}
+
+Adadelta::Adadelta(std::vector<Param> params, float rho, float eps)
+    : Optimizer(std::move(params)), rho_(rho), eps_(eps) {
+  for (auto& p : params_) {
+    eg2_.emplace_back(p.value->shape());
+    ex2_.emplace_back(p.value->shape());
+  }
+}
+
+void Adadelta::apply() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    Tensor& w = *params_[k].value;
+    const Tensor& g = *params_[k].grad;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      eg2_[k][i] = rho_ * eg2_[k][i] + (1 - rho_) * g[i] * g[i];
+      const float dx = -std::sqrt(ex2_[k][i] + eps_) /
+                       std::sqrt(eg2_[k][i] + eps_) * g[i];
+      ex2_[k][i] = rho_ * ex2_[k][i] + (1 - rho_) * dx * dx;
+      w[i] += dx;
+    }
+  }
+}
+
+void clip_weights(const std::vector<Param>& params, float c) {
+  for (const auto& p : params)
+    for (std::size_t i = 0; i < p.value->size(); ++i)
+      (*p.value)[i] = std::clamp((*p.value)[i], -c, c);
+}
+
+}  // namespace impeccable::ml

@@ -1,0 +1,82 @@
+#pragma once
+// Optimizers: SGD+momentum, Adam, RMSprop (the paper's 3D-AAE optimizer,
+// Sec. 7.1.3) and ADADELTA (shared conceptually with the docking local
+// search, Sec. 5.1.1).
+
+#include <memory>
+#include <vector>
+
+#include "impeccable/ml/layers.hpp"
+
+namespace impeccable::ml {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+  /// Apply one update from the accumulated gradients, then clear them.
+  void step() {
+    apply();
+    for (auto& p : params_) p.grad->zero();
+  }
+
+ protected:
+  virtual void apply() = 0;
+  std::vector<Param> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param> params, float lr, float momentum = 0.9f);
+
+ protected:
+  void apply() override;
+
+ private:
+  float lr_, momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+ protected:
+  void apply() override;
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+class RmsProp : public Optimizer {
+ public:
+  RmsProp(std::vector<Param> params, float lr, float rho = 0.9f,
+          float eps = 1e-8f);
+
+ protected:
+  void apply() override;
+
+ private:
+  float lr_, rho_, eps_;
+  std::vector<Tensor> sq_;
+};
+
+class Adadelta : public Optimizer {
+ public:
+  Adadelta(std::vector<Param> params, float rho = 0.95f, float eps = 1e-6f);
+
+ protected:
+  void apply() override;
+
+ private:
+  float rho_, eps_;
+  std::vector<Tensor> eg2_, ex2_;
+};
+
+/// WGAN weight clipping: clamp every parameter into [-c, c].
+void clip_weights(const std::vector<Param>& params, float c);
+
+}  // namespace impeccable::ml

@@ -1,0 +1,101 @@
+#include "impeccable/ml/res.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace impeccable::ml {
+
+EnrichmentSurface::EnrichmentSurface(std::span<const double> predicted,
+                                     std::span<const double> truth) {
+  if (predicted.size() != truth.size() || predicted.empty())
+    throw std::invalid_argument("EnrichmentSurface: bad inputs");
+  const std::size_t n = predicted.size();
+
+  order_pred_.resize(n);
+  std::iota(order_pred_.begin(), order_pred_.end(), std::size_t{0});
+  std::stable_sort(order_pred_.begin(), order_pred_.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return predicted[a] > predicted[b];
+                   });
+
+  std::vector<std::size_t> order_true(n);
+  std::iota(order_true.begin(), order_true.end(), std::size_t{0});
+  std::stable_sort(order_true.begin(), order_true.end(),
+                   [&](std::size_t a, std::size_t b) { return truth[a] > truth[b]; });
+  rank_true_.resize(n);
+  for (std::size_t r = 0; r < n; ++r) rank_true_[order_true[r]] = r;
+}
+
+double EnrichmentSurface::coverage(double screen_fraction,
+                                   double top_fraction) const {
+  const std::size_t n = order_pred_.size();
+  const std::size_t screened = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(screen_fraction * n)));
+  const std::size_t top = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(top_fraction * n)));
+
+  std::size_t hits = 0;
+  for (std::size_t k = 0; k < std::min(screened, n); ++k)
+    if (rank_true_[order_pred_[k]] < top) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(top);
+}
+
+double EnrichmentSurface::budget_for(double top_fraction,
+                                     double min_coverage) const {
+  const std::size_t n = order_pred_.size();
+  const std::size_t top = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(top_fraction * n)));
+  const std::size_t needed = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(min_coverage * top)));
+  // Walk the predicted ranking until `needed` true-top items are covered.
+  std::size_t hits = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (rank_true_[order_pred_[k]] < top) ++hits;
+    if (hits >= needed)
+      return static_cast<double>(k + 1) / static_cast<double>(n);
+  }
+  return 1.0;
+}
+
+EnrichmentSurface::Grid EnrichmentSurface::grid(int points_per_decade,
+                                                double min_fraction) const {
+  Grid g;
+  for (double f = min_fraction; f <= 1.0 + 1e-12;) {
+    g.screen_fractions.push_back(std::min(f, 1.0));
+    // points_per_decade log-spaced steps.
+    f *= std::pow(10.0, 1.0 / points_per_decade);
+  }
+  g.top_fractions = g.screen_fractions;
+  g.coverage.resize(g.top_fractions.size());
+  for (std::size_t t = 0; t < g.top_fractions.size(); ++t) {
+    g.coverage[t].resize(g.screen_fractions.size());
+    for (std::size_t s = 0; s < g.screen_fractions.size(); ++s)
+      g.coverage[t][s] = coverage(g.screen_fractions[s], g.top_fractions[t]);
+  }
+  return g;
+}
+
+std::string to_text(const EnrichmentSurface::Grid& grid) {
+  std::string out = "  top\\screen";
+  char buf[64];
+  for (double s : grid.screen_fractions) {
+    std::snprintf(buf, sizeof buf, " %8.0e", s);
+    out += buf;
+  }
+  out += '\n';
+  for (std::size_t t = 0; t < grid.top_fractions.size(); ++t) {
+    std::snprintf(buf, sizeof buf, "  %8.0e  ", grid.top_fractions[t]);
+    out += buf;
+    for (double c : grid.coverage[t]) {
+      std::snprintf(buf, sizeof buf, " %8.3f", c);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace impeccable::ml

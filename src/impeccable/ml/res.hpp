@@ -1,0 +1,52 @@
+#pragma once
+// Regression Enrichment Surface (Clyde et al.; paper Sec. 5.1.2 & Fig. 4).
+//
+// RES(x, y): screen the top x-fraction of the library by *predicted* score
+// and measure what fraction of the *true* top y-fraction it captures.
+// The Fig. 4 reading "δ = u·10⁻³ captures ~50% of the top 10⁻⁴" is
+// res.coverage(1e-3, 1e-4) ≈ 0.5.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace impeccable::ml {
+
+class EnrichmentSurface {
+ public:
+  /// `predicted` and `truth` are scores where HIGHER = better (use negated
+  /// binding energies or [0,1] labels). Sizes must match and be non-empty.
+  EnrichmentSurface(std::span<const double> predicted,
+                    std::span<const double> truth);
+
+  /// Fraction of the true top `top_fraction` found within the predicted top
+  /// `screen_fraction`. Both in (0, 1]; at least one item is always taken.
+  double coverage(double screen_fraction, double top_fraction) const;
+
+  /// Evaluate a log-spaced grid (the Fig. 4 surface): rows = top fractions,
+  /// cols = screen fractions.
+  struct Grid {
+    std::vector<double> screen_fractions;
+    std::vector<double> top_fractions;
+    std::vector<std::vector<double>> coverage;  ///< [top][screen]
+  };
+  Grid grid(int points_per_decade = 2, double min_fraction = 1e-4) const;
+
+  std::size_t size() const { return order_pred_.size(); }
+
+  /// The paper's budgeting question inverted (Sec. 7.1.1: "The RES plot also
+  /// provides a quantitative estimate of the number of compounds we have to
+  /// sample"): the smallest screening fraction whose predicted-top slice
+  /// covers at least `min_coverage` of the true top `top_fraction`.
+  /// Returns 1.0 if even full screening is needed.
+  double budget_for(double top_fraction, double min_coverage) const;
+
+ private:
+  std::vector<std::size_t> order_pred_;  ///< indices by predicted, best first
+  std::vector<std::size_t> rank_true_;   ///< true rank of each index (0 = best)
+};
+
+/// Render a grid as an aligned text table (printed by bench/fig4_res).
+std::string to_text(const EnrichmentSurface::Grid& grid);
+
+}  // namespace impeccable::ml

@@ -1,0 +1,248 @@
+#include "impeccable/ml/shards.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace impeccable::ml {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t& at) {
+  if (at + 4 > in.size()) throw std::runtime_error("shard: truncated u32");
+  const std::uint32_t v = in[at] | (in[at + 1] << 8) | (in[at + 2] << 16) |
+                          (static_cast<std::uint32_t>(in[at + 3]) << 24);
+  at += 4;
+  return v;
+}
+
+constexpr std::uint32_t kMagic = 0x53504d49;  // "IMPS"
+
+}  // namespace
+
+std::vector<std::uint8_t> rle_compress(const std::vector<std::uint8_t>& raw) {
+  // (value, count) pairs with count in [1, 255].
+  std::vector<std::uint8_t> out;
+  out.reserve(raw.size() / 4 + 16);
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    const std::uint8_t v = raw[i];
+    std::size_t run = 1;
+    while (i + run < raw.size() && raw[i + run] == v && run < 255) ++run;
+    out.push_back(v);
+    out.push_back(static_cast<std::uint8_t>(run));
+    i += run;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> rle_decompress(const std::vector<std::uint8_t>& in) {
+  if (in.size() % 2 != 0) throw std::runtime_error("rle: odd input size");
+  std::vector<std::uint8_t> out;
+  for (std::size_t i = 0; i < in.size(); i += 2) {
+    const std::uint8_t v = in[i];
+    const std::uint8_t run = in[i + 1];
+    if (run == 0) throw std::runtime_error("rle: zero run length");
+    out.insert(out.end(), run, v);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_shard(const std::vector<ShardRecord>& records) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, kMagic);
+  put_u32(payload, static_cast<std::uint32_t>(records.size()));
+  for (const auto& r : records) {
+    if (r.id.size() > 0xffff) throw std::invalid_argument("shard: id too long");
+    put_u32(payload, static_cast<std::uint32_t>(r.id.size()));
+    payload.insert(payload.end(), r.id.begin(), r.id.end());
+    put_u32(payload, static_cast<std::uint32_t>(r.image.channels));
+    put_u32(payload, static_cast<std::uint32_t>(r.image.height));
+    put_u32(payload, static_cast<std::uint32_t>(r.image.width));
+    for (float v : r.image.data) {
+      const float c = std::clamp(v, 0.0f, 1.0f);
+      payload.push_back(static_cast<std::uint8_t>(c * 255.0f + 0.5f));
+    }
+  }
+  return rle_compress(payload);
+}
+
+std::vector<ShardRecord> decode_shard(const std::vector<std::uint8_t>& blob) {
+  const auto payload = rle_decompress(blob);
+  std::size_t at = 0;
+  if (get_u32(payload, at) != kMagic)
+    throw std::runtime_error("shard: bad magic");
+  const std::uint32_t count = get_u32(payload, at);
+  std::vector<ShardRecord> out;
+  out.reserve(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    ShardRecord r;
+    const std::uint32_t id_len = get_u32(payload, at);
+    if (at + id_len > payload.size())
+      throw std::runtime_error("shard: truncated id");
+    r.id.assign(payload.begin() + static_cast<long>(at),
+                payload.begin() + static_cast<long>(at + id_len));
+    at += id_len;
+    r.image.channels = static_cast<int>(get_u32(payload, at));
+    r.image.height = static_cast<int>(get_u32(payload, at));
+    r.image.width = static_cast<int>(get_u32(payload, at));
+    if (r.image.channels <= 0 || r.image.height <= 0 || r.image.width <= 0 ||
+        r.image.channels > 64 || r.image.height > 4096 || r.image.width > 4096)
+      throw std::runtime_error("shard: implausible image shape");
+    const std::size_t n = static_cast<std::size_t>(r.image.channels) *
+                          r.image.height * r.image.width;
+    if (at + n > payload.size())
+      throw std::runtime_error("shard: truncated image");
+    r.image.data.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      r.image.data[i] = static_cast<float>(payload[at + i]) / 255.0f;
+    at += n;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<std::string> write_shards(const std::vector<ShardRecord>& records,
+                                      std::size_t per_shard,
+                                      const std::string& directory) {
+  if (per_shard == 0) throw std::invalid_argument("write_shards: per_shard == 0");
+  std::filesystem::create_directories(directory);
+  std::vector<std::string> paths;
+  std::size_t shard_index = 0;
+  for (std::size_t at = 0; at < records.size(); at += per_shard) {
+    const std::size_t n = std::min(per_shard, records.size() - at);
+    const std::vector<ShardRecord> slice(records.begin() + static_cast<long>(at),
+                                         records.begin() + static_cast<long>(at + n));
+    const auto blob = encode_shard(slice);
+    char name[64];
+    std::snprintf(name, sizeof name, "shard-%04zu.bin", shard_index++);
+    const std::string path = directory + "/" + name;
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("write_shards: cannot open " + path);
+    f.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+namespace {
+
+/// Bounded single-producer single-consumer queue of decoded shards.
+class ShardQueue {
+ public:
+  explicit ShardQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(std::vector<ShardRecord> shard) {
+    std::unique_lock lock(m_);
+    not_full_.wait(lock, [&] { return q_.size() < capacity_; });
+    q_.push_back(std::move(shard));
+    not_empty_.notify_one();
+  }
+  void close() {
+    std::lock_guard lock(m_);
+    closed_ = true;
+    not_empty_.notify_all();
+  }
+  bool pop(std::vector<ShardRecord>& out) {
+    std::unique_lock lock(m_);
+    not_empty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::mutex m_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<std::vector<ShardRecord>> q_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+InferenceOutput run_sharded_inference(const std::vector<std::string>& shard_paths,
+                                      const SurrogateOptions& model_options,
+                                      const InferenceOptions& opts) {
+  const int ranks = std::max(1, opts.ranks);
+  InferenceOutput out;
+  std::mutex gather_mutex;
+
+  std::vector<std::thread> rank_threads;
+  rank_threads.reserve(static_cast<std::size_t>(ranks));
+  for (int rank = 0; rank < ranks; ++rank) {
+    rank_threads.emplace_back([&, rank] {
+      // Round-robin shard partition for this rank ("distribute the
+      // individual files evenly").
+      std::vector<std::string> mine;
+      for (std::size_t s = static_cast<std::size_t>(rank); s < shard_paths.size();
+           s += static_cast<std::size_t>(ranks))
+        mine.push_back(shard_paths[s]);
+
+      ShardQueue queue(static_cast<std::size_t>(opts.queue_capacity));
+      std::size_t ok = 0, failed = 0;
+
+      // Prefetching loader thread: read + decompress, skip corrupt shards.
+      std::thread loader([&] {
+        for (const auto& path : mine) {
+          try {
+            std::ifstream f(path, std::ios::binary);
+            if (!f) throw std::runtime_error("cannot open " + path);
+            std::vector<std::uint8_t> blob(
+                (std::istreambuf_iterator<char>(f)),
+                std::istreambuf_iterator<char>());
+            queue.push(decode_shard(blob));
+            ++ok;
+          } catch (const std::exception&) {
+            ++failed;  // resilient to sporadic IO errors
+          }
+        }
+        queue.close();
+      });
+
+      // Consumer: feed the network as shards arrive.
+      SurrogateModel model(model_options);
+      std::vector<std::pair<std::string, float>> local;
+      std::vector<ShardRecord> shard;
+      while (queue.pop(shard)) {
+        std::vector<chem::Image> images;
+        images.reserve(shard.size());
+        for (auto& r : shard) images.push_back(std::move(r.image));
+        const auto preds = model.predict_batch(images);
+        for (std::size_t i = 0; i < shard.size(); ++i)
+          local.emplace_back(std::move(shard[i].id), preds[i]);
+      }
+      loader.join();
+
+      // Gather on "rank 0".
+      std::lock_guard lock(gather_mutex);
+      out.shards_processed += ok;
+      out.shards_failed += failed;
+      out.scores.insert(out.scores.end(),
+                        std::make_move_iterator(local.begin()),
+                        std::make_move_iterator(local.end()));
+    });
+  }
+  for (auto& t : rank_threads) t.join();
+
+  std::sort(out.scores.begin(), out.scores.end());
+  return out;
+}
+
+}  // namespace impeccable::ml

@@ -1,0 +1,150 @@
+#include "impeccable/ml/surrogate.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "impeccable/ml/loss.hpp"
+
+namespace impeccable::ml {
+
+float score_to_label(double dock_score, double best, double worst) {
+  if (worst <= best) return 0.5f;
+  const double t = (worst - dock_score) / (worst - best);
+  return static_cast<float>(std::clamp(t, 0.0, 1.0));
+}
+
+SurrogateModel::SurrogateModel(const SurrogateOptions& opts) : opts_(opts) {
+  common::Rng rng(opts.seed);
+  const int f = opts.base_filters;
+  net_.add(std::make_unique<Conv3x3>(opts.channels, f, rng));
+  net_.add(std::make_unique<ReLU>());
+  net_.add(std::make_unique<MaxPool2>());  // H/2
+  net_.add(std::make_unique<Conv3x3>(f, 2 * f, rng));
+  net_.add(std::make_unique<ReLU>());
+  net_.add(std::make_unique<MaxPool2>());  // H/4
+  net_.add(std::make_unique<ResidualBlock>(2 * f, rng));
+  net_.add(std::make_unique<MaxPool2>());  // H/8
+  net_.add(std::make_unique<Flatten>());
+  const int flat = 2 * f * (opts.height / 8) * (opts.width / 8);
+  net_.add(std::make_unique<Dense>(flat, 32, rng));
+  net_.add(std::make_unique<ReLU>());
+  net_.add(std::make_unique<Dense>(32, 1, rng));
+  net_.add(std::make_unique<Sigmoid>());
+  optimizer_ = std::make_unique<Adam>(net_.params(), opts.learning_rate);
+}
+
+Tensor SurrogateModel::to_tensor(const std::vector<chem::Image>& images,
+                                 std::size_t begin, std::size_t count) const {
+  Tensor x({static_cast<int>(count), opts_.channels, opts_.height, opts_.width});
+  for (std::size_t b = 0; b < count; ++b) {
+    const chem::Image& im = images[begin + b];
+    if (im.channels != opts_.channels || im.height != opts_.height ||
+        im.width != opts_.width)
+      throw std::invalid_argument("SurrogateModel: image shape mismatch");
+    std::copy(im.data.begin(), im.data.end(),
+              x.data() + b * im.data.size());
+  }
+  return x;
+}
+
+TrainReport SurrogateModel::train(const std::vector<chem::Image>& images,
+                                  const std::vector<float>& labels) {
+  if (images.size() != labels.size() || images.empty())
+    throw std::invalid_argument("SurrogateModel::train: bad dataset");
+
+  common::Rng rng(opts_.seed ^ 0x7121a);
+  std::vector<std::size_t> order(images.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+
+  const std::size_t val_count = std::min(
+      images.size() - 1,
+      static_cast<std::size_t>(opts_.validation_fraction * images.size()));
+  const std::size_t train_count = images.size() - val_count;
+
+  // Materialize shuffled views once.
+  std::vector<chem::Image> tr_im, va_im;
+  std::vector<float> tr_y, va_y;
+  for (std::size_t k = 0; k < train_count; ++k) {
+    tr_im.push_back(images[order[k]]);
+    tr_y.push_back(labels[order[k]]);
+  }
+  for (std::size_t k = train_count; k < images.size(); ++k) {
+    va_im.push_back(images[order[k]]);
+    va_y.push_back(labels[order[k]]);
+  }
+
+  TrainReport report;
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    EpochStats stats;
+    std::size_t batches = 0;
+    for (std::size_t at = 0; at < tr_im.size(); at += opts_.batch_size) {
+      const std::size_t bs =
+          std::min<std::size_t>(opts_.batch_size, tr_im.size() - at);
+      const Tensor x = to_tensor(tr_im, at, bs);
+      Tensor target({static_cast<int>(bs), 1});
+      for (std::size_t i = 0; i < bs; ++i) target[i] = tr_y[at + i];
+
+      const Tensor pred = net_.forward(x);
+      const LossValue loss = mse_loss(pred, target);
+      net_.backward(loss.grad);
+      optimizer_->step();
+      stats.train_loss += loss.value;
+      ++batches;
+    }
+    if (batches) stats.train_loss /= static_cast<float>(batches);
+
+    if (!va_im.empty()) {
+      const Tensor x = to_tensor(va_im, 0, va_im.size());
+      Tensor target({static_cast<int>(va_im.size()), 1});
+      for (std::size_t i = 0; i < va_im.size(); ++i) target[i] = va_y[i];
+      stats.validation_loss = mse_loss(net_.forward(x), target).value;
+    }
+    report.epochs.push_back(stats);
+  }
+  return report;
+}
+
+float SurrogateModel::predict(const chem::Image& image) {
+  std::vector<chem::Image> one{image};
+  return predict_batch(one)[0];
+}
+
+std::vector<float> SurrogateModel::predict_batch(
+    const std::vector<chem::Image>& images) {
+  std::vector<float> out;
+  out.reserve(images.size());
+  const std::size_t chunk = 64;
+  for (std::size_t at = 0; at < images.size(); at += chunk) {
+    const std::size_t bs = std::min(chunk, images.size() - at);
+    const Tensor pred = net_.forward(to_tensor(images, at, bs));
+    for (std::size_t i = 0; i < bs; ++i) out.push_back(pred[i]);
+  }
+  return out;
+}
+
+void SurrogateModel::save_weights(const std::string& path) {
+  save_parameters(net_, path);
+}
+
+void SurrogateModel::load_weights(const std::string& path) {
+  load_parameters(net_, path);
+}
+
+std::uint64_t SurrogateModel::flops_per_image() const {
+  const int f = opts_.base_filters;
+  const std::uint64_t h = opts_.height, w = opts_.width, c = opts_.channels;
+  std::uint64_t flops = 0;
+  // conv1: 2*9*Cin*Cout per pixel.
+  flops += 2ull * 9 * c * f * h * w;
+  flops += 2ull * 9 * f * (2 * f) * (h / 2) * (w / 2);
+  // residual block: two convs at H/4.
+  flops += 2ull * 2 * 9 * (2 * f) * (2 * f) * (h / 4) * (w / 4);
+  // dense layers.
+  const std::uint64_t flat = 2ull * f * (h / 8) * (w / 8);
+  flops += 2ull * flat * 32 + 2ull * 32;
+  return flops;
+}
+
+}  // namespace impeccable::ml

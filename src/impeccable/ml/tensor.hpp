@@ -1,0 +1,79 @@
+#pragma once
+// Minimal dense float tensor for the from-scratch NN library.
+//
+// Substitution note (DESIGN.md): stands in for PyTorch/TensorRT. Layers do
+// explicit forward/backward passes (no autograd); everything runs on CPU in
+// FP32. Shapes follow PyTorch conventions: images are (N, C, H, W), dense
+// activations are (N, D), point clouds are (N, P, 3).
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "impeccable/common/rng.hpp"
+
+namespace impeccable::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+  Tensor(std::initializer_list<int> shape)
+      : Tensor(std::vector<int>(shape)) {}
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float value);
+  /// Kaiming/He-style normal init scaled by fan-in.
+  static Tensor randn(std::vector<int> shape, common::Rng& rng, float stddev);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const { return shape_[static_cast<std::size_t>(i)]; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// 2D access (rank-2 tensors).
+  float& at(int i, int j) {
+    return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+  }
+  float at(int i, int j) const {
+    return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+  }
+  /// 4D access (rank-4 tensors, NCHW).
+  float& at(int n, int c, int h, int w) {
+    return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+                     shape_[3] + w];
+  }
+  float at(int n, int c, int h, int w) const {
+    return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+                     shape_[3] + w];
+  }
+
+  /// Reinterpret with a new shape of identical total size.
+  Tensor reshaped(std::vector<int> shape) const;
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator*=(float s);
+
+  std::string shape_string() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Throws unless the two shapes match exactly.
+void check_same_shape(const Tensor& a, const Tensor& b, const char* where);
+
+}  // namespace impeccable::ml

@@ -1,0 +1,127 @@
+#include "impeccable/ml/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "impeccable/common/rng.hpp"
+
+namespace impeccable::ml {
+
+std::vector<std::vector<double>> tsne(const std::vector<std::vector<double>>& points,
+                                      const TsneOptions& opts) {
+  const std::size_t n = points.size();
+  if (n == 0) return {};
+  const std::size_t out_d = static_cast<std::size_t>(opts.output_dim);
+  if (n == 1) return {std::vector<double>(out_d, 0.0)};
+
+  // Pairwise squared distances.
+  std::vector<double> d2(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < points[i].size(); ++k) {
+        const double v = points[i][k] - points[j][k];
+        acc += v * v;
+      }
+      d2[i * n + j] = d2[j * n + i] = acc;
+    }
+  }
+
+  // Row-wise binary search for the precision giving the target perplexity.
+  const double target_entropy = std::log(std::max(2.0, opts.perplexity));
+  std::vector<double> p(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double beta_lo = 1e-12, beta_hi = 1e12, beta = 1.0;
+    for (int iter = 0; iter < 60; ++iter) {
+      double sum = 0.0, weighted = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = std::exp(-beta * d2[i * n + j]);
+        sum += w;
+        weighted += w * d2[i * n + j];
+      }
+      if (sum <= 0.0) {
+        beta_hi = beta;
+        beta = 0.5 * (beta_lo + beta_hi);
+        continue;
+      }
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      if (std::abs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) beta_lo = beta;
+      else beta_hi = beta;
+      beta = beta_hi >= 1e12 ? beta_lo * 2.0 : 0.5 * (beta_lo + beta_hi);
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) sum += std::exp(-beta * d2[i * n + j]);
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i && sum > 0.0) p[i * n + j] = std::exp(-beta * d2[i * n + j]) / sum;
+  }
+  // Symmetrize.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = (p[i * n + j] + p[j * n + i]) / (2.0 * n);
+      p[i * n + j] = p[j * n + i] = std::max(v, 1e-12);
+    }
+
+  common::Rng rng(opts.seed);
+  std::vector<std::vector<double>> y(n, std::vector<double>(out_d));
+  for (auto& row : y)
+    for (auto& v : row) v = rng.gauss(0.0, 1e-2);
+
+  std::vector<std::vector<double>> vel(n, std::vector<double>(out_d, 0.0));
+  std::vector<double> q(n * n);
+
+  for (int it = 0; it < opts.iterations; ++it) {
+    const double exaggeration =
+        it < opts.exaggeration_iters ? opts.early_exaggeration : 1.0;
+
+    // Student-t affinities in the embedding.
+    double qsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < out_d; ++k) {
+          const double v = y[i][k] - y[j][k];
+          acc += v * v;
+        }
+        const double w = 1.0 / (1.0 + acc);
+        q[i * n + j] = q[j * n + i] = w;
+        qsum += 2.0 * w;
+      }
+    }
+
+    const double momentum = it < 100 ? 0.5 : 0.8;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> grad(out_d, 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = q[i * n + j];
+        const double coeff =
+            4.0 * (exaggeration * p[i * n + j] - w / qsum) * w;
+        for (std::size_t k = 0; k < out_d; ++k)
+          grad[k] += coeff * (y[i][k] - y[j][k]);
+      }
+      for (std::size_t k = 0; k < out_d; ++k)
+        vel[i][k] = momentum * vel[i][k] - opts.learning_rate * grad[k];
+      // Clamp the step to keep the optimization stable at high lr.
+      double step2 = 0.0;
+      for (std::size_t k = 0; k < out_d; ++k) step2 += vel[i][k] * vel[i][k];
+      const double step = std::sqrt(step2);
+      const double scale = step > opts.max_step ? opts.max_step / step : 1.0;
+      for (std::size_t k = 0; k < out_d; ++k) y[i][k] += scale * vel[i][k];
+    }
+
+    // Re-center the embedding (removes the free translation mode).
+    std::vector<double> mean(out_d, 0.0);
+    for (const auto& row : y)
+      for (std::size_t k = 0; k < out_d; ++k) mean[k] += row[k];
+    for (auto& m : mean) m /= static_cast<double>(n);
+    for (auto& row : y)
+      for (std::size_t k = 0; k < out_d; ++k) row[k] -= mean[k];
+  }
+  return y;
+}
+
+}  // namespace impeccable::ml

@@ -1,0 +1,26 @@
+#pragma once
+// Exact t-SNE (van der Maaten & Hinton 2008) for small point sets — used to
+// visualize the 3D-AAE latent space (Fig. 5C). O(n²) per iteration; intended
+// for n up to a few thousand.
+
+#include <cstdint>
+#include <vector>
+
+namespace impeccable::ml {
+
+struct TsneOptions {
+  int output_dim = 2;
+  double perplexity = 20.0;
+  int iterations = 300;
+  double learning_rate = 10.0;
+  double max_step = 5.0;  ///< per-point displacement clamp per iteration
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 50;
+  std::uint64_t seed = 0x75e0;
+};
+
+/// Embed row-major high-dimensional points into `output_dim` dimensions.
+std::vector<std::vector<double>> tsne(const std::vector<std::vector<double>>& points,
+                                      const TsneOptions& opts = {});
+
+}  // namespace impeccable::ml

@@ -1,0 +1,98 @@
+#include "impeccable/rct/entk.hpp"
+
+#include <algorithm>
+
+namespace impeccable::rct {
+
+AppManager::AppManager(ExecutionBackend& backend, const AppManagerOptions& opts)
+    : backend_(backend), opts_(opts) {}
+
+std::vector<TaskResult> AppManager::run(std::vector<Pipeline> pipelines) {
+  results_.clear();
+  retries_ = 0;
+  makespan_ = 0.0;
+
+  std::vector<std::shared_ptr<PipelineRun>> runs;
+  runs.reserve(pipelines.size());
+  for (auto& p : pipelines)
+    runs.push_back(std::make_shared<PipelineRun>(std::move(p)));
+
+  for (const auto& run : runs) advance(run);
+  backend_.drain();
+
+  std::lock_guard lock(mutex_);
+  return results_;
+}
+
+void AppManager::advance(const std::shared_ptr<PipelineRun>& run) {
+  Stage* head = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (run->pipeline.stages_.empty()) return;  // pipeline finished
+    head = &run->pipeline.stages_.front();
+    run->outstanding = head->tasks.size();
+  }
+
+  if (head->tasks.empty()) {
+    // Empty stage: run post_exec and move on immediately.
+    on_task_done(run, TaskResult{});
+    return;
+  }
+
+  for (auto& task : head->tasks) submit_task(run, task, 0);
+}
+
+void AppManager::submit_task(const std::shared_ptr<PipelineRun>& run,
+                             const TaskDescription& task, int attempt) {
+  backend_.submit(task, [this, run, task, attempt](const TaskResult& result) {
+    if (!result.ok && attempt < opts_.max_retries) {
+      {
+        std::lock_guard lock(mutex_);
+        ++retries_;
+      }
+      submit_task(run, task, attempt + 1);
+      return;
+    }
+    on_task_done(run, result);
+  });
+}
+
+void AppManager::on_task_done(const std::shared_ptr<PipelineRun>& run,
+                              const TaskResult& result) {
+  bool stage_complete = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (!result.name.empty() || result.end_time > 0.0)
+      results_.push_back(result);
+    makespan_ = std::max(makespan_, result.end_time);
+    if (run->outstanding > 0) --run->outstanding;
+    stage_complete = run->outstanding == 0;
+  }
+  if (!stage_complete) return;
+
+  // The whole stage finished: fire post_exec (outside the lock — it may
+  // append stages), pop the stage, then advance after the fixed overhead.
+  Stage done_stage;
+  {
+    std::lock_guard lock(mutex_);
+    done_stage = std::move(run->pipeline.stages_.front());
+    run->pipeline.stages_.pop_front();
+  }
+  if (done_stage.post_exec) done_stage.post_exec(run->pipeline);
+
+  bool has_more;
+  {
+    std::lock_guard lock(mutex_);
+    has_more = !run->pipeline.stages_.empty();
+  }
+  if (has_more)
+    backend_.after(opts_.stage_transition_overhead, [this, run] { advance(run); });
+}
+
+std::size_t AppManager::tasks_failed() const {
+  return static_cast<std::size_t>(
+      std::count_if(results_.begin(), results_.end(),
+                    [](const TaskResult& r) { return !r.ok; }));
+}
+
+}  // namespace impeccable::rct

@@ -1,0 +1,121 @@
+#include "impeccable/rct/profiler.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace impeccable::rct {
+
+void ProfiledBackend::submit(TaskDescription task, CompletionCallback on_complete) {
+  const double submitted = inner_.now();
+  const std::string name = task.name;
+  const int cpus = task.cpus;
+  const int gpus = task.gpus > 0 ? task.gpus
+                                 : task.whole_nodes * 6;  // whole-node proxy
+  inner_.submit(std::move(task),
+                [this, submitted, name, cpus, gpus,
+                 cb = std::move(on_complete)](const TaskResult& result) {
+                  {
+                    std::lock_guard lock(mutex_);
+                    TaskRecord rec;
+                    rec.name = name;
+                    rec.submit_time = submitted;
+                    rec.start_time = result.start_time;
+                    rec.end_time = result.end_time;
+                    rec.ok = result.ok;
+                    rec.cpus = cpus;
+                    rec.gpus = gpus;
+                    records_.push_back(std::move(rec));
+                  }
+                  cb(result);
+                });
+}
+
+SessionProfile ProfiledBackend::profile() const {
+  std::lock_guard lock(mutex_);
+  return SessionProfile{records_};
+}
+
+void SessionProfile::write_csv(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("SessionProfile::write_csv: cannot open " + path);
+  f << "name,submit,start,end,queue_wait,runtime,ok,cpus,gpus\n";
+  for (const auto& r : tasks)
+    f << r.name << ',' << r.submit_time << ',' << r.start_time << ','
+      << r.end_time << ',' << r.queue_wait() << ',' << r.runtime() << ','
+      << (r.ok ? 1 : 0) << ',' << r.cpus << ',' << r.gpus << "\n";
+}
+
+double SessionProfile::makespan() const {
+  double t = 0.0;
+  for (const auto& r : tasks) t = std::max(t, r.end_time);
+  return t;
+}
+
+double SessionProfile::mean_queue_wait() const {
+  if (tasks.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& r : tasks) acc += r.queue_wait();
+  return acc / static_cast<double>(tasks.size());
+}
+
+double SessionProfile::total_task_runtime() const {
+  double acc = 0.0;
+  for (const auto& r : tasks) acc += r.runtime();
+  return acc;
+}
+
+int SessionProfile::peak_concurrency() const {
+  // Sweep over start/end events.
+  std::vector<std::pair<double, int>> events;
+  events.reserve(tasks.size() * 2);
+  for (const auto& r : tasks) {
+    events.emplace_back(r.start_time, +1);
+    events.emplace_back(r.end_time, -1);
+  }
+  std::sort(events.begin(), events.end());
+  int cur = 0, peak = 0;
+  for (const auto& [t, d] : events) {
+    cur += d;
+    peak = std::max(peak, cur);
+  }
+  return peak;
+}
+
+std::vector<int> SessionProfile::concurrency_timeline(int buckets) const {
+  std::vector<int> out(static_cast<std::size_t>(std::max(0, buckets)), 0);
+  const double span = makespan();
+  if (span <= 0.0 || buckets <= 0) return out;
+  for (int b = 0; b < buckets; ++b) {
+    const double t = span * (b + 0.5) / buckets;
+    int running = 0;
+    for (const auto& r : tasks)
+      if (r.start_time <= t && t < r.end_time) ++running;
+    out[static_cast<std::size_t>(b)] = running;
+  }
+  return out;
+}
+
+double SessionProfile::idle_fraction() const {
+  const double span = makespan();
+  if (span <= 0.0 || tasks.empty()) return 0.0;
+  // Merge execution intervals and measure the uncovered part of [0, span].
+  std::vector<std::pair<double, double>> iv;
+  iv.reserve(tasks.size());
+  for (const auto& r : tasks) iv.emplace_back(r.start_time, r.end_time);
+  std::sort(iv.begin(), iv.end());
+  double covered = 0.0, cur_lo = iv.front().first, cur_hi = iv.front().second;
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    if (iv[i].first > cur_hi) {
+      covered += cur_hi - cur_lo;
+      cur_lo = iv[i].first;
+      cur_hi = iv[i].second;
+    } else {
+      cur_hi = std::max(cur_hi, iv[i].second);
+    }
+  }
+  covered += cur_hi - cur_lo;
+  return 1.0 - covered / span;
+}
+
+}  // namespace impeccable::rct

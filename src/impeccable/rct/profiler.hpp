@@ -1,0 +1,71 @@
+#pragma once
+// Execution profiling — the RADICAL-analytics role: per-task timestamps
+// (submit / start / end), queue-wait statistics, a concurrency timeline and
+// utilization/overhead summaries. The paper's Fig. 7 and its overhead-
+// invariance claim are exactly the kind of analysis these records support.
+//
+// ProfiledBackend decorates any ExecutionBackend; the campaign and the
+// benches can wrap their backend and read the session profile afterwards.
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "impeccable/rct/backend.hpp"
+
+namespace impeccable::rct {
+
+struct TaskRecord {
+  std::string name;
+  double submit_time = 0.0;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  bool ok = true;
+  int cpus = 0;
+  int gpus = 0;
+
+  double queue_wait() const { return start_time - submit_time; }
+  double runtime() const { return end_time - start_time; }
+};
+
+struct SessionProfile {
+  std::vector<TaskRecord> tasks;
+
+  /// Dump one row per task (name, submit, start, end, wait, runtime, ok)
+  /// for external plotting — the RADICAL-analytics export.
+  void write_csv(const std::string& path) const;
+
+  double makespan() const;
+  double mean_queue_wait() const;
+  double total_task_runtime() const;
+  /// Peak number of concurrently executing tasks.
+  int peak_concurrency() const;
+  /// Concurrency sampled at `buckets` uniform instants across the makespan.
+  std::vector<int> concurrency_timeline(int buckets) const;
+  /// Fraction of the makespan during which nothing executed (the "light
+  /// vertical areas" of Fig. 7).
+  double idle_fraction() const;
+};
+
+/// Decorator recording a TaskRecord per submitted task.
+class ProfiledBackend : public ExecutionBackend {
+ public:
+  explicit ProfiledBackend(ExecutionBackend& inner) : inner_(inner) {}
+
+  void submit(TaskDescription task, CompletionCallback on_complete) override;
+  void after(double delay, std::function<void()> fn) override {
+    inner_.after(delay, std::move(fn));
+  }
+  void drain() override { inner_.drain(); }
+  double now() override { return inner_.now(); }
+
+  /// Snapshot of everything recorded so far.
+  SessionProfile profile() const;
+
+ private:
+  ExecutionBackend& inner_;
+  mutable std::mutex mutex_;
+  std::vector<TaskRecord> records_;
+};
+
+}  // namespace impeccable::rct

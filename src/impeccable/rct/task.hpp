@@ -1,0 +1,40 @@
+#pragma once
+// Task model shared by the RCT execution backends.
+//
+// A "task" is the paper's unit of execution: "a stand-alone process that has
+// well-defined input, output, termination criteria, and dedicated resources"
+// (Sec. 5.2.1). Tasks carry a resource request (CPUs/GPUs/whole nodes), a
+// virtual duration for the discrete-event backend, and an optional real
+// payload for the thread-pool backend.
+
+#include <functional>
+#include <string>
+
+namespace impeccable::rct {
+
+enum class TaskState { New, Scheduled, Executing, Done, Failed };
+
+const char* to_string(TaskState s);
+
+struct TaskDescription {
+  std::string name;
+  int cpus = 1;
+  int gpus = 0;
+  /// > 0: claim this many whole nodes (multi-node MPI task).
+  int whole_nodes = 0;
+  /// Virtual execution time in seconds (SimBackend).
+  double duration = 1.0;
+  /// Real work to run when the task executes (optional; both backends call
+  /// it — the simulation charges `duration`, the local backend measures).
+  std::function<void()> payload;
+};
+
+struct TaskResult {
+  std::string name;
+  bool ok = true;
+  std::string error;
+  double start_time = 0.0;  ///< backend clock
+  double end_time = 0.0;
+};
+
+}  // namespace impeccable::rct

@@ -1,0 +1,73 @@
+// Tests for the analysis additions: equilibration detection and the
+// within-replica ESMACS error channel.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impeccable/chem/descriptors.hpp"
+#include "impeccable/chem/smiles.hpp"
+#include "impeccable/common/rng.hpp"
+#include "impeccable/dock/engine.hpp"
+#include "impeccable/dock/receptor.hpp"
+#include "impeccable/fe/esmacs.hpp"
+#include "impeccable/md/analysis.hpp"
+#include "impeccable/md/system.hpp"
+
+namespace md = impeccable::md;
+namespace fe = impeccable::fe;
+namespace chem = impeccable::chem;
+namespace dock = impeccable::dock;
+using impeccable::common::Rng;
+
+TEST(Equilibration, SkipsInitialTransient) {
+  // Exponential relaxation to a plateau plus noise: the detected production
+  // start must skip a solid part of the transient.
+  Rng rng(2);
+  std::vector<double> series;
+  for (int t = 0; t < 512; ++t)
+    series.push_back(10.0 * std::exp(-t / 40.0) + rng.gauss(0, 0.3));
+  const std::size_t t0 = md::detect_equilibration(series);
+  EXPECT_GE(t0, 32u);   // most of the decay (3 time constants ~ 120) skipped
+  EXPECT_LT(t0, 256u);  // but not the whole series
+}
+
+TEST(Equilibration, StationarySeriesKeepsMostData) {
+  Rng rng(3);
+  std::vector<double> series;
+  for (int t = 0; t < 512; ++t) series.push_back(rng.gauss(0, 1));
+  const std::size_t t0 = md::detect_equilibration(series);
+  EXPECT_LT(t0, 128u);  // little reason to discard i.i.d. data
+}
+
+TEST(Equilibration, ShortSeriesAreSafe) {
+  EXPECT_EQ(md::detect_equilibration({}), 0u);
+  EXPECT_EQ(md::detect_equilibration({1, 2, 3}), 0u);
+}
+
+TEST(EsmacsErrors, WithinReplicaErrorIsReported) {
+  const auto receptor = dock::Receptor::synthesize("E", 71);
+  dock::GridOptions gopts;
+  gopts.nodes = 21;
+  const auto grid = dock::compute_grid(receptor, gopts);
+  const auto mol = chem::parse_smiles("CCOc1ccccc1");
+  dock::DockOptions dopts;
+  dopts.runs = 1;
+  dopts.lga.population = 16;
+  dopts.lga.generations = 6;
+  const auto pose = dock::dock(*grid, mol, "L", dopts);
+  md::ProteinOptions popts;
+  popts.residues = 40;
+  const auto protein = md::build_protein(71, popts);
+  const auto lpc = md::build_lpc(protein, mol, pose.best_coords);
+
+  fe::EsmacsConfig cfg = fe::cg_config(0.5);
+  cfg.replicas = 3;
+  const auto res = fe::run_esmacs(
+      lpc, chem::compute_descriptors(mol).rotatable_bonds, cfg, 5);
+  EXPECT_GT(res.within_replica_error, 0.0);
+  EXPECT_TRUE(std::isfinite(res.within_replica_error));
+  // Between-replica and within-replica errors are the same scale here
+  // (well-equilibrated small system): both should be O(0.1-10) kcal/mol.
+  EXPECT_LT(res.within_replica_error, 50.0);
+}

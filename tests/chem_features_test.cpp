@@ -1,0 +1,293 @@
+// Tests for descriptors, fingerprints, diversity selection, 2D/3D coordinate
+// generation, depiction and the library generator.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "impeccable/chem/depiction.hpp"
+#include "impeccable/chem/descriptors.hpp"
+#include "impeccable/chem/diversity.hpp"
+#include "impeccable/chem/fingerprint.hpp"
+#include "impeccable/chem/layout.hpp"
+#include "impeccable/chem/library.hpp"
+#include "impeccable/chem/smiles.hpp"
+#include "impeccable/common/vec3.hpp"
+
+namespace chem = impeccable::chem;
+
+// ---------------------------------------------------------------- descriptors
+
+TEST(Descriptors, AspirinValues) {
+  const auto mol = chem::parse_smiles("CC(=O)Oc1ccccc1C(=O)O");
+  const auto d = chem::compute_descriptors(mol);
+  EXPECT_NEAR(d.molecular_weight, 180.16, 0.1);
+  EXPECT_EQ(d.heavy_atoms, 13);
+  EXPECT_EQ(d.hbond_donors, 1);   // the carboxylic OH
+  EXPECT_EQ(d.hbond_acceptors, 4);
+  EXPECT_EQ(d.ring_count, 1);
+  EXPECT_EQ(d.formal_charge, 0);
+}
+
+TEST(Descriptors, RotatableBondsExcludeRingsAndTerminal) {
+  // Butane: one central rotatable bond (C1-C2 and C2-C3? terminal rule).
+  const auto butane = chem::parse_smiles("CCCC");
+  EXPECT_EQ(chem::compute_descriptors(butane).rotatable_bonds, 1);
+  // Cyclohexane: none.
+  const auto cyclo = chem::parse_smiles("C1CCCCC1");
+  EXPECT_EQ(chem::compute_descriptors(cyclo).rotatable_bonds, 0);
+  // Ethylbenzene: ring-CH2 bond rotatable, CH2-CH3 terminal.
+  const auto eb = chem::parse_smiles("CCc1ccccc1");
+  EXPECT_EQ(chem::compute_descriptors(eb).rotatable_bonds, 1);
+}
+
+TEST(Descriptors, LogpOrdersHydrophobicity) {
+  const auto hexane = chem::compute_descriptors(chem::parse_smiles("CCCCCC"));
+  const auto glycerol = chem::compute_descriptors(chem::parse_smiles("OCC(O)CO"));
+  EXPECT_GT(hexane.logp, glycerol.logp);
+}
+
+TEST(Descriptors, TpsaTracksPolarAtoms) {
+  const auto benzene = chem::compute_descriptors(chem::parse_smiles("c1ccccc1"));
+  const auto urea = chem::compute_descriptors(chem::parse_smiles("NC(=O)N"));
+  EXPECT_EQ(benzene.tpsa, 0.0);
+  EXPECT_GT(urea.tpsa, 50.0);
+}
+
+TEST(Descriptors, LipinskiViolationCounting) {
+  chem::Descriptors d;
+  d.molecular_weight = 600;
+  d.logp = 6;
+  d.hbond_donors = 6;
+  d.hbond_acceptors = 11;
+  EXPECT_EQ(chem::lipinski_violations(d), 4);
+  chem::Descriptors ok;
+  EXPECT_EQ(chem::lipinski_violations(ok), 0);
+}
+
+// ---------------------------------------------------------------- fingerprints
+
+TEST(Fingerprint, IdenticalMoleculesIdenticalFingerprint) {
+  const auto a = chem::morgan_fingerprint(chem::parse_smiles("CCO"));
+  const auto b = chem::morgan_fingerprint(chem::parse_smiles("OCC"));
+  EXPECT_DOUBLE_EQ(chem::tanimoto(a, b), 1.0);
+}
+
+TEST(Fingerprint, SimilarBeatsDissimilar) {
+  const auto ethanol = chem::morgan_fingerprint(chem::parse_smiles("CCO"));
+  const auto propanol = chem::morgan_fingerprint(chem::parse_smiles("CCCO"));
+  const auto benzene = chem::morgan_fingerprint(chem::parse_smiles("c1ccccc1"));
+  EXPECT_GT(chem::tanimoto(ethanol, propanol), chem::tanimoto(ethanol, benzene));
+}
+
+TEST(Fingerprint, SelfSimilarityIsOne) {
+  const auto fp = chem::path_fingerprint(chem::parse_smiles("CC(=O)Oc1ccccc1C(=O)O"));
+  EXPECT_DOUBLE_EQ(chem::tanimoto(fp, fp), 1.0);
+  EXPECT_GT(fp.popcount(), 10);
+}
+
+TEST(Fingerprint, BitSetOps) {
+  chem::BitSet a(128), b(128);
+  a.set(3);
+  a.set(70);
+  b.set(70);
+  b.set(100);
+  EXPECT_EQ(a.popcount(), 2);
+  EXPECT_EQ(chem::BitSet::intersection_count(a, b), 1);
+  EXPECT_EQ(chem::BitSet::union_count(a, b), 3);
+  EXPECT_NEAR(chem::tanimoto(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Fingerprint, EmptyFingerprintsAreSimilar) {
+  chem::BitSet a(64), b(64);
+  EXPECT_DOUBLE_EQ(chem::tanimoto(a, b), 1.0);
+}
+
+// ---------------------------------------------------------------- diversity
+
+TEST(Diversity, MaxMinPicksRequestedCount) {
+  std::vector<chem::BitSet> fps;
+  for (const char* s : {"CCO", "CCCO", "c1ccccc1", "c1ccncc1", "CC(=O)O", "CCCCCCCC"})
+    fps.push_back(chem::morgan_fingerprint(chem::parse_smiles(s)));
+  const auto picked = chem::maxmin_pick(fps, 4, 5);
+  EXPECT_EQ(picked.size(), 4u);
+  std::set<std::size_t> uniq(picked.begin(), picked.end());
+  EXPECT_EQ(uniq.size(), 4u);
+}
+
+TEST(Diversity, MaxMinPrefersDiverseOverSimilar) {
+  // Three near-duplicates + one very different molecule: picking 2 must
+  // include the outlier.
+  std::vector<chem::BitSet> fps;
+  for (const char* s : {"CCCCCCO", "CCCCCO", "CCCCO", "c1ccc2ccccc2c1"})
+    fps.push_back(chem::morgan_fingerprint(chem::parse_smiles(s)));
+  const auto picked = chem::maxmin_pick(fps, 2, 9);
+  EXPECT_TRUE(std::find(picked.begin(), picked.end(), 3u) != picked.end());
+}
+
+TEST(Diversity, MaxMinHandlesOverAsk) {
+  std::vector<chem::BitSet> fps{chem::morgan_fingerprint(chem::parse_smiles("CCO"))};
+  EXPECT_EQ(chem::maxmin_pick(fps, 10, 1).size(), 1u);
+  EXPECT_TRUE(chem::maxmin_pick({}, 3, 1).empty());
+}
+
+TEST(Diversity, ButinaClustersDuplicatesTogether) {
+  std::vector<chem::BitSet> fps;
+  for (const char* s : {"CCO", "OCC", "c1ccccc1", "c1ccccc1"})
+    fps.push_back(chem::morgan_fingerprint(chem::parse_smiles(s)));
+  const auto labels = chem::butina_cluster(fps, 0.9);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+// ---------------------------------------------------------------- coordinates
+
+TEST(Layout2d, BondLengthsNearUniform) {
+  const auto mol = chem::parse_smiles("c1ccccc1CCN");
+  const auto pos = chem::layout_2d(mol, 3);
+  ASSERT_EQ(pos.size(), static_cast<std::size_t>(mol.atom_count()));
+  // All bonded distances should be within a sane band after relaxation.
+  for (int bi = 0; bi < mol.bond_count(); ++bi) {
+    const auto& a = pos[static_cast<std::size_t>(mol.bond(bi).a)];
+    const auto& b = pos[static_cast<std::size_t>(mol.bond(bi).b)];
+    const double d = std::hypot(a.x - b.x, a.y - b.y);
+    EXPECT_GT(d, 0.2);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(Layout2d, Deterministic) {
+  const auto mol = chem::parse_smiles("CC(=O)Oc1ccccc1C(=O)O");
+  const auto a = chem::layout_2d(mol, 11);
+  const auto b = chem::layout_2d(mol, 11);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x);
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y);
+  }
+}
+
+TEST(Embed3d, BondLengthsNearIdeal) {
+  const auto mol = chem::parse_smiles("CCO");
+  const auto pos = chem::embed_3d(mol, 5);
+  for (int bi = 0; bi < mol.bond_count(); ++bi) {
+    const double ideal = chem::ideal_bond_length(mol, bi);
+    const double actual = impeccable::common::distance(
+        pos[static_cast<std::size_t>(mol.bond(bi).a)],
+        pos[static_cast<std::size_t>(mol.bond(bi).b)]);
+    EXPECT_NEAR(actual, ideal, 0.4) << "bond " << bi;
+  }
+}
+
+TEST(Embed3d, NoAtomClashes) {
+  const auto mol = chem::parse_smiles("CC(C)Cc1ccc(cc1)C(C)C(=O)O");
+  const auto pos = chem::embed_3d(mol, 5);
+  for (int i = 0; i < mol.atom_count(); ++i)
+    for (int j = i + 1; j < mol.atom_count(); ++j)
+      EXPECT_GT(impeccable::common::distance(pos[static_cast<std::size_t>(i)],
+                                             pos[static_cast<std::size_t>(j)]),
+                0.7)
+          << i << "," << j;
+}
+
+TEST(Embed3d, CenteredAtOrigin) {
+  const auto mol = chem::parse_smiles("c1ccccc1");
+  const auto pos = chem::embed_3d(mol, 2);
+  impeccable::common::Vec3 c;
+  for (const auto& p : pos) c += p;
+  c /= static_cast<double>(pos.size());
+  EXPECT_NEAR(c.norm(), 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- depiction
+
+TEST(Depiction, ShapeAndRange) {
+  const auto mol = chem::parse_smiles("CC(=O)Oc1ccccc1C(=O)O");
+  const auto img = chem::depict(mol);
+  EXPECT_EQ(img.channels, 4);
+  EXPECT_EQ(img.width, 32);
+  EXPECT_EQ(img.height, 32);
+  EXPECT_EQ(img.data.size(), 4u * 32u * 32u);
+  float sum = 0.0f;
+  for (float v : img.data) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+    sum += v;
+  }
+  EXPECT_GT(sum, 1.0f);  // something was drawn
+}
+
+TEST(Depiction, PolarChannelLightsUpForPolarMolecule) {
+  const auto polar = chem::depict(chem::parse_smiles("NC(=O)N"));
+  const auto apolar = chem::depict(chem::parse_smiles("CCCCCC"));
+  auto channel_sum = [](const chem::Image& im, int c) {
+    float s = 0;
+    for (int y = 0; y < im.height; ++y)
+      for (int x = 0; x < im.width; ++x) s += im.at(c, y, x);
+    return s;
+  };
+  EXPECT_GT(channel_sum(polar, 2), channel_sum(apolar, 2) + 1.0f);
+}
+
+TEST(Depiction, DifferentMoleculesDifferentImages) {
+  const auto a = chem::depict(chem::parse_smiles("CCO"));
+  const auto b = chem::depict(chem::parse_smiles("c1ccc2ccccc2c1"));
+  double diff = 0;
+  for (std::size_t i = 0; i < a.data.size(); ++i)
+    diff += std::abs(a.data[i] - b.data[i]);
+  EXPECT_GT(diff, 5.0);
+}
+
+// ---------------------------------------------------------------- library
+
+TEST(Library, DeterministicByIndex) {
+  const auto a = chem::generate_compound(77, 5);
+  const auto b = chem::generate_compound(77, 5);
+  EXPECT_EQ(chem::write_smiles(a), chem::write_smiles(b));
+}
+
+TEST(Library, DifferentIndicesUsuallyDiffer) {
+  int distinct = 0;
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < 30; ++i)
+    if (seen.insert(chem::write_smiles(chem::generate_compound(7, i))).second)
+      ++distinct;
+  EXPECT_GE(distinct, 25);
+}
+
+TEST(Library, CompoundsAreDrugLike) {
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const auto mol = chem::generate_compound(2024, i);
+    const auto d = chem::compute_descriptors(mol);
+    EXPECT_GE(d.heavy_atoms, 10);
+    EXPECT_LE(d.heavy_atoms, 40);
+    EXPECT_LE(chem::lipinski_violations(d), 1);
+    EXPECT_TRUE(mol.connected());
+  }
+}
+
+TEST(Library, GenerateLibraryIdsAndSize) {
+  const auto lib = chem::generate_library("OZD", 10, 9);
+  EXPECT_EQ(lib.size(), 10u);
+  EXPECT_EQ(lib.entries[0].id, "OZD-000000");
+  EXPECT_EQ(lib.entries[9].id, "OZD-000009");
+  for (const auto& e : lib.entries) EXPECT_FALSE(e.smiles.empty());
+}
+
+TEST(Library, OverlappingLibrariesShareExpectedFraction) {
+  const auto [a, b] =
+      chem::generate_overlapping_libraries("OZD", "ORD", 40, 0.25, 31337);
+  ASSERT_EQ(a.size(), 40u);
+  ASSERT_EQ(b.size(), 40u);
+  std::set<std::string> sa;
+  for (const auto& e : a.entries) sa.insert(e.smiles);
+  int shared = 0;
+  std::set<std::string> sb;
+  for (const auto& e : b.entries)
+    if (sb.insert(e.smiles).second && sa.count(e.smiles)) ++shared;
+  // 10 compounds come from the shared pool; collisions can add a couple.
+  EXPECT_GE(shared, 9);
+  EXPECT_LE(shared, 16);
+}

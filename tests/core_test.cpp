@@ -1,0 +1,152 @@
+// Integration tests for the IMPECCABLE campaign: the full five-stage
+// iterative loop on a small target and library.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impeccable/core/campaign.hpp"
+
+namespace core = impeccable::core;
+namespace fe = impeccable::fe;
+
+namespace {
+
+core::CampaignConfig tiny_config() {
+  core::CampaignConfig cfg;
+  cfg.library_size = 60;
+  cfg.iterations = 2;
+  cfg.bootstrap_docks = 16;
+  cfg.dock_top_fraction = 0.25;
+  cfg.cg_compounds = 4;
+  cfg.top_binders = 2;
+  cfg.outliers_per_binder = 2;
+  // Slim down every engine for test speed.
+  cfg.dock.runs = 1;
+  cfg.dock.lga.population = 16;
+  cfg.dock.lga.generations = 6;
+  cfg.esmacs_cg = fe::cg_config(0.3);
+  cfg.esmacs_cg.replicas = 3;
+  cfg.esmacs_fg = fe::fg_config(0.1);
+  cfg.esmacs_fg.replicas = 4;
+  cfg.surrogate.epochs = 3;
+  cfg.aae.epochs = 3;
+  cfg.seed = 11;
+  return cfg;
+}
+
+const core::CampaignReport& tiny_report() {
+  static const core::CampaignReport report = [] {
+    core::Target target = core::Target::make("PLPro-like", 42, 40, 21);
+    core::Campaign campaign(std::move(target), tiny_config());
+    return campaign.run();
+  }();
+  return report;
+}
+
+}  // namespace
+
+TEST(Campaign, RunsAllIterations) {
+  const auto& report = tiny_report();
+  ASSERT_EQ(report.iterations.size(), 2u);
+  for (const auto& it : report.iterations) {
+    EXPECT_GT(it.docked, 0u);
+    EXPECT_GT(it.cg_runs, 0u);
+    EXPECT_GT(it.fg_runs, 0u);
+    EXPECT_GT(it.wall_seconds, 0.0);
+  }
+}
+
+TEST(Campaign, SecondIterationScreensWholeLibrary) {
+  const auto& report = tiny_report();
+  // Iteration 0 bootstraps with a sample; iteration 1 runs ML1 inference
+  // over everything.
+  EXPECT_EQ(report.iterations[0].library_screened,
+            report.iterations[0].docked);
+  EXPECT_EQ(report.iterations[1].library_screened, 60u);
+  EXPECT_LT(report.iterations[1].docked, 60u);
+}
+
+TEST(Campaign, EffectiveThroughputExceedsRawAfterMl1) {
+  const auto& report = tiny_report();
+  const auto& it1 = report.iterations[1];
+  // Scientific performance: the library coverage per unit time exceeds the
+  // docked-compound count per unit time by the ML1 leverage factor.
+  EXPECT_GT(it1.effective_ligands_per_second * it1.wall_seconds,
+            static_cast<double>(it1.docked));
+}
+
+TEST(Campaign, RecordsArePopulatedConsistently) {
+  const auto& report = tiny_report();
+  std::size_t docked = 0, cg = 0, fg_energies = 0;
+  for (const auto& [id, rec] : report.compounds) {
+    EXPECT_FALSE(rec.smiles.empty());
+    if (rec.docked) {
+      ++docked;
+      EXPECT_TRUE(std::isfinite(rec.dock_score));
+    }
+    if (rec.cg_done) {
+      ++cg;
+      EXPECT_TRUE(rec.docked);  // CG only runs on docked compounds
+      EXPECT_TRUE(std::isfinite(rec.cg_energy));
+    }
+    fg_energies += rec.fg_energies.size();
+  }
+  EXPECT_GT(docked, 0u);
+  EXPECT_GT(cg, 0u);
+  // 2 iterations x top_binders x outliers_per_binder (bounded above).
+  EXPECT_GT(fg_energies, 0u);
+  EXPECT_LE(fg_energies, 2u * 2u * 2u);
+}
+
+TEST(Campaign, CgRankingIsSorted) {
+  const auto& report = tiny_report();
+  const auto ranking = report.cg_ranking();
+  ASSERT_GT(ranking.size(), 1u);
+  for (std::size_t i = 1; i < ranking.size(); ++i)
+    EXPECT_LE(ranking[i - 1]->cg_energy, ranking[i]->cg_energy);
+}
+
+TEST(Campaign, FlopsAccumulatePerComponent) {
+  const auto& report = tiny_report();
+  EXPECT_GT(report.flops->total("S1"), 0u);
+  EXPECT_GT(report.flops->total("S3-CG"), 0u);
+  EXPECT_GT(report.flops->total("S3-FG"), 0u);
+  EXPECT_GT(report.flops->total("S2"), 0u);
+  EXPECT_GT(report.flops->total("ML1"), 0u);  // iteration 1 trained
+}
+
+TEST(Campaign, FgEnergiesAttachToTopBinders) {
+  const auto& report = tiny_report();
+  // Every compound with FG energies must be among the better CG binders.
+  const auto ranking = report.cg_ranking();
+  std::size_t with_fg = 0;
+  for (std::size_t i = 0; i < ranking.size(); ++i)
+    if (!ranking[i]->fg_energies.empty()) ++with_fg;
+  EXPECT_GT(with_fg, 0u);
+}
+
+TEST(Target, MakeIsDeterministic) {
+  const auto a = core::Target::make("T", 7, 30, 15);
+  const auto b = core::Target::make("T", 7, 30, 15);
+  EXPECT_EQ(a.receptor.atoms().size(), b.receptor.atoms().size());
+  EXPECT_EQ(a.protein.positions.size(), b.protein.positions.size());
+  for (std::size_t i = 0; i < a.protein.positions.size(); ++i)
+    EXPECT_EQ(a.protein.positions[i], b.protein.positions[i]);
+}
+
+TEST(Campaign, AutoBudgetSizesDockingFromRes) {
+  core::CampaignConfig cfg = tiny_config();
+  cfg.auto_dock_budget = true;
+  cfg.auto_budget_top = 0.05;
+  cfg.auto_budget_coverage = 0.5;
+  cfg.bootstrap_docks = 24;  // >= 20 docked validation points for the RES
+  core::Target target = core::Target::make("auto", 43, 40, 21);
+  core::Campaign campaign(std::move(target), cfg);
+  const auto report = campaign.run();
+  ASSERT_EQ(report.iterations.size(), 2u);
+  // The second iteration's budget came from the RES: bounded by the clamp
+  // [4, library/2] and by construction different from the bootstrap.
+  EXPECT_GE(report.iterations[1].docked, 1u);
+  EXPECT_LE(report.iterations[1].docked, cfg.library_size / 2);
+}

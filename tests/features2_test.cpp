@@ -1,0 +1,201 @@
+// Tests for the second extension wave: position restraints / restrained
+// equilibration, the RES budget advisor, and Murcko scaffolds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impeccable/chem/library.hpp"
+#include "impeccable/chem/scaffold.hpp"
+#include "impeccable/chem/smiles.hpp"
+#include "impeccable/common/kabsch.hpp"
+#include "impeccable/common/rng.hpp"
+#include "impeccable/md/integrator.hpp"
+#include "impeccable/md/simulation.hpp"
+#include "impeccable/md/system.hpp"
+#include "impeccable/ml/res.hpp"
+
+namespace chem = impeccable::chem;
+namespace md = impeccable::md;
+namespace ml = impeccable::ml;
+using impeccable::common::Rng;
+using impeccable::common::Vec3;
+
+// ---------------------------------------------------------------- restraints
+
+TEST(Restraints, EnergyAndForcesMatchFiniteDifference) {
+  md::System sys;
+  sys.topology.beads.resize(3);
+  sys.positions = {{0, 0, 0}, {4, 0, 0}, {0, 4, 0}};
+
+  md::ForceFieldOptions opts;
+  opts.restraint_k = 3.0;
+  opts.restraint_ref = {{0.5, 0, 0}, {4, 0.5, 0}, {0, 4, 0.5}};
+  const md::ForceField ff(sys.topology, opts);
+
+  std::vector<Vec3> forces;
+  const auto e = ff.evaluate(sys.positions, &forces);
+  EXPECT_NEAR(e.restraint, 3.0 * (0.25 + 0.25 + 0.25), 1e-9);
+
+  const double h = 1e-6;
+  for (int i = 0; i < 3; ++i) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto p1 = sys.positions, p2 = sys.positions;
+      (&p1[static_cast<std::size_t>(i)].x)[axis] -= h;
+      (&p2[static_cast<std::size_t>(i)].x)[axis] += h;
+      const double fd =
+          -(ff.evaluate(p2, nullptr).total() - ff.evaluate(p1, nullptr).total()) /
+          (2 * h);
+      EXPECT_NEAR((&forces[static_cast<std::size_t>(i)].x)[axis], fd, 1e-4);
+    }
+  }
+}
+
+TEST(Restraints, SelectionRestrainsOnlyListedBeads) {
+  md::System sys;
+  sys.topology.beads.resize(2);
+  sys.positions = {{1, 0, 0}, {5, 0, 0}};
+  md::ForceFieldOptions opts;
+  opts.restraint_k = 2.0;
+  opts.restraint_ref = {{0, 0, 0}, {0, 0, 0}};
+  opts.restrained = {0};
+  const md::ForceField ff(sys.topology, opts);
+  EXPECT_NEAR(ff.evaluate(sys.positions, nullptr).restraint, 2.0 * 1.0, 1e-9);
+}
+
+TEST(Restraints, MismatchedReferenceThrows) {
+  md::System sys;
+  sys.topology.beads.resize(2);
+  sys.positions = {{0, 0, 0}, {1, 0, 0}};
+  md::ForceFieldOptions opts;
+  opts.restraint_k = 1.0;
+  opts.restraint_ref = {{0, 0, 0}};  // wrong size
+  const md::ForceField ff(sys.topology, opts);
+  EXPECT_THROW(ff.evaluate(sys.positions, nullptr), std::invalid_argument);
+}
+
+TEST(Restraints, RestrainedEquilibrationKeepsProteinCloser) {
+  md::ProteinOptions popts;
+  popts.residues = 40;
+  const auto sys = md::build_protein(9, popts);
+
+  auto run = [&](double k) {
+    md::SimulationOptions so;
+    so.equilibration_steps = 400;
+    so.production_steps = 40;
+    so.report_interval = 40;
+    so.langevin.temperature = 380.0;
+    so.equilibration_restraint_k = k;
+    const auto res = md::run_replica(sys, so, 11);
+    // Drift of the first production frame from the start.
+    const auto sel = sys.topology.selection(md::BeadKind::Protein);
+    std::vector<Vec3> ref, cur;
+    for (int i : sel) {
+      ref.push_back(sys.positions[static_cast<std::size_t>(i)]);
+      cur.push_back(res.trajectory.frames.front()
+                        .positions[static_cast<std::size_t>(i)]);
+    }
+    return impeccable::common::rmsd_superposed(ref, cur);
+  };
+
+  const double free_drift = run(0.0);
+  const double restrained_drift = run(10.0);
+  EXPECT_LT(restrained_drift, free_drift);
+}
+
+// ---------------------------------------------------------------- RES budget
+
+TEST(ResBudget, PerfectPredictorNeedsExactlyTheTopSlice) {
+  std::vector<double> v(1000);
+  for (int i = 0; i < 1000; ++i) v[static_cast<std::size_t>(i)] = i;
+  const ml::EnrichmentSurface res(v, v);
+  // To cover 100% of the top 1% a perfect predictor screens exactly 1%.
+  EXPECT_NEAR(res.budget_for(0.01, 1.0), 0.01, 1e-9);
+  EXPECT_NEAR(res.budget_for(0.10, 0.5), 0.05, 1e-9);
+}
+
+TEST(ResBudget, NoisierPredictorNeedsBiggerBudget) {
+  Rng rng(4);
+  std::vector<double> truth, good, bad;
+  for (int i = 0; i < 4000; ++i) {
+    const double t = rng.uniform();
+    truth.push_back(t);
+    good.push_back(t + rng.gauss(0, 0.05));
+    bad.push_back(t + rng.gauss(0, 0.8));
+  }
+  const ml::EnrichmentSurface res_good(good, truth);
+  const ml::EnrichmentSurface res_bad(bad, truth);
+  EXPECT_LT(res_good.budget_for(0.02, 0.8), res_bad.budget_for(0.02, 0.8));
+}
+
+TEST(ResBudget, BudgetIsConsistentWithCoverage) {
+  Rng rng(5);
+  std::vector<double> truth, pred;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = rng.uniform();
+    truth.push_back(t);
+    pred.push_back(t + rng.gauss(0, 0.3));
+  }
+  const ml::EnrichmentSurface res(pred, truth);
+  const double budget = res.budget_for(0.05, 0.6);
+  EXPECT_GE(res.coverage(budget, 0.05), 0.6 - 1e-9);
+}
+
+// ---------------------------------------------------------------- scaffolds
+
+TEST(Scaffold, BenzeneIsItsOwnScaffold) {
+  const auto mol = chem::parse_smiles("c1ccccc1");
+  EXPECT_EQ(chem::scaffold_smiles(mol), chem::canonical_smiles("c1ccccc1"));
+}
+
+TEST(Scaffold, SideChainsAreStripped) {
+  // Toluene, phenol and chlorobenzene share the benzene scaffold.
+  const auto a = chem::scaffold_smiles(chem::parse_smiles("Cc1ccccc1"));
+  const auto b = chem::scaffold_smiles(chem::parse_smiles("Oc1ccccc1"));
+  const auto c = chem::scaffold_smiles(chem::parse_smiles("Clc1ccccc1"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(a, chem::canonical_smiles("c1ccccc1"));
+}
+
+TEST(Scaffold, LinkersBetweenRingsAreKept) {
+  // Diphenylmethane: two rings + the CH2 linker survive.
+  const auto scaffold =
+      chem::murcko_scaffold(chem::parse_smiles("c1ccccc1Cc1ccccc1"));
+  EXPECT_EQ(scaffold.atom_count(), 13);
+  EXPECT_EQ(scaffold.ring_count(), 2);
+}
+
+TEST(Scaffold, AcyclicMoleculeGivesEmptyScaffold) {
+  const auto mol = chem::parse_smiles("CCOCC(=O)NCC");
+  EXPECT_EQ(chem::murcko_scaffold(mol).atom_count(), 0);
+  EXPECT_EQ(chem::scaffold_smiles(mol), "");
+}
+
+TEST(Scaffold, PendantRingSubstituentFallsOff) {
+  // Ibuprofen: everything except the phenyl ring is acyclic side chain.
+  const auto s =
+      chem::scaffold_smiles(chem::parse_smiles("CC(C)Cc1ccc(cc1)C(C)C(=O)O"));
+  EXPECT_EQ(s, chem::canonical_smiles("c1ccccc1"));
+}
+
+TEST(Scaffold, CensusCountsChemotypes) {
+  chem::CompoundLibrary lib;
+  lib.name = "T";
+  lib.entries = {{"a", "Cc1ccccc1"},
+                 {"b", "Oc1ccccc1"},
+                 {"c", "C1CCCCC1"},
+                 {"d", "CCCC"}};
+  const auto census = chem::scaffold_census(lib);
+  EXPECT_EQ(census.at(chem::canonical_smiles("c1ccccc1")), 2);
+  EXPECT_EQ(census.at(chem::canonical_smiles("C1CCCCC1")), 1);
+  EXPECT_EQ(census.at(""), 1);
+  EXPECT_EQ(census.size(), 3u);
+}
+
+TEST(Scaffold, GeneratedLibraryHasDiverseScaffolds) {
+  const auto lib = chem::generate_library("S", 40, 31);
+  const auto census = chem::scaffold_census(lib);
+  // The fragment generator should produce a healthy spread of chemotypes.
+  EXPECT_GE(census.size(), 10u);
+}

@@ -1,0 +1,367 @@
+// MD substrate tests: force-field correctness (forces vs finite differences,
+// cell list vs brute force), integrator statistics, minimizers, system
+// builders and trajectory analysis.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impeccable/chem/smiles.hpp"
+#include "impeccable/common/stats.hpp"
+#include "impeccable/dock/engine.hpp"
+#include "impeccable/dock/receptor.hpp"
+#include "impeccable/md/analysis.hpp"
+#include "impeccable/md/forcefield.hpp"
+#include "impeccable/md/integrator.hpp"
+#include "impeccable/md/simulation.hpp"
+#include "impeccable/md/system.hpp"
+
+namespace md = impeccable::md;
+namespace chem = impeccable::chem;
+using impeccable::common::Rng;
+using impeccable::common::Vec3;
+
+namespace {
+
+/// A small hand-built system: 4 beads, chain bonds, one angle.
+md::System tiny_system() {
+  md::System sys;
+  for (int i = 0; i < 4; ++i) {
+    md::Bead b;
+    b.kind = i < 3 ? md::BeadKind::Protein : md::BeadKind::Ligand;
+    b.charge = (i % 2 == 0) ? 0.3 : -0.3;
+    b.hydrophobic = i == 1;
+    sys.topology.beads.push_back(b);
+    sys.positions.push_back({3.8 * i, 0.4 * i * i, 0.1 * i});
+  }
+  sys.protein_beads = 3;
+  sys.ligand_beads = 1;
+  for (int i = 0; i + 1 < 3; ++i)
+    sys.topology.bonds.push_back({i, i + 1, 3.8, 40.0});
+  sys.topology.angles.push_back({0, 1, 2, 2.0, 8.0});
+  return sys;
+}
+
+md::System small_lpc(std::uint64_t seed = 3) {
+  md::ProteinOptions popts;
+  popts.residues = 40;
+  const auto protein = md::build_protein(seed, popts);
+  const auto mol = chem::parse_smiles("CCOc1ccccc1");
+  // Place the ligand at the pocket center via its embedded coords.
+  const impeccable::dock::Ligand lig(mol);
+  return md::build_lpc(protein, mol, lig.reference_coords());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- topology
+
+TEST(Topology, SelectionsAndExclusions) {
+  const auto sys = tiny_system();
+  EXPECT_EQ(sys.topology.selection(md::BeadKind::Protein).size(), 3u);
+  EXPECT_EQ(sys.topology.selection(md::BeadKind::Ligand).size(), 1u);
+  EXPECT_TRUE(sys.topology.bonded(0, 1));
+  EXPECT_TRUE(sys.topology.bonded(1, 0));
+  EXPECT_FALSE(sys.topology.bonded(0, 3));
+  EXPECT_EQ(sys.topology.exclusions().size(), 2u);
+}
+
+// ---------------------------------------------------------------- force field
+
+TEST(ForceField, ForcesMatchFiniteDifferences) {
+  const auto sys = tiny_system();
+  const md::ForceField ff(sys.topology);
+  std::vector<Vec3> forces;
+  ff.evaluate(sys.positions, &forces);
+
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < sys.positions.size(); ++i) {
+    for (int axis = 0; axis < 3; ++axis) {
+      auto p1 = sys.positions, p2 = sys.positions;
+      (&p1[i].x)[axis] -= h;
+      (&p2[i].x)[axis] += h;
+      const double fd = -(ff.evaluate(p2, nullptr).total() -
+                          ff.evaluate(p1, nullptr).total()) / (2 * h);
+      EXPECT_NEAR((&forces[i].x)[axis], fd, 1e-4)
+          << "bead " << i << " axis " << axis;
+    }
+  }
+}
+
+TEST(ForceField, ForcesMatchFiniteDifferencesOnLpc) {
+  const auto sys = small_lpc();
+  const md::ForceField ff(sys.topology);
+  // First relax slightly so we are not in the capped-force regime where the
+  // analytic force is intentionally clamped.
+  auto pos = sys.positions;
+  md::minimize_steepest(ff, pos, 50);
+  std::vector<Vec3> forces;
+  ff.evaluate(pos, &forces);
+
+  const double h = 1e-6;
+  Rng rng(5);
+  for (int probe = 0; probe < 12; ++probe) {
+    const std::size_t i = rng.index(pos.size());
+    const int axis = static_cast<int>(rng.index(3));
+    auto p1 = pos, p2 = pos;
+    (&p1[i].x)[axis] -= h;
+    (&p2[i].x)[axis] += h;
+    const double fd = -(ff.evaluate(p2, nullptr).total() -
+                        ff.evaluate(p1, nullptr).total()) / (2 * h);
+    const double an = (&forces[i].x)[axis];
+    if (std::abs(an) < ff.options().max_force * 0.95) {
+      EXPECT_NEAR(an, fd, std::max(2e-3, std::abs(fd) * 2e-4))
+          << "bead " << i << " axis " << axis;
+    }
+  }
+}
+
+TEST(ForceField, CellListMatchesBruteForcePairs) {
+  // Random beads; compare pair sets from the cell list vs O(N^2).
+  Rng rng(17);
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 120; ++i)
+    pos.push_back({rng.uniform(-15, 15), rng.uniform(-12, 18), rng.uniform(-9, 9)});
+  const double cutoff = 6.0;
+
+  md::CellList cl;
+  cl.build(pos, cutoff);
+  std::set<std::pair<int, int>> from_cells;
+  cl.for_each_pair(pos, cutoff, [&](int i, int j) {
+    EXPECT_LT(i, j);
+    EXPECT_TRUE(from_cells.emplace(i, j).second) << "duplicate pair";
+  });
+  cl.for_each_pair(pos, cutoff, [&](int i, int j) { from_cells.emplace(i, j); });
+
+  std::set<std::pair<int, int>> brute;
+  for (int i = 0; i < 120; ++i)
+    for (int j = i + 1; j < 120; ++j)
+      if (impeccable::common::distance2(pos[static_cast<std::size_t>(i)],
+                                        pos[static_cast<std::size_t>(j)]) <=
+          cutoff * cutoff)
+        brute.emplace(i, j);
+  EXPECT_EQ(from_cells, brute);
+}
+
+TEST(ForceField, InteractionEnergyOnlyCountsCrossPairs) {
+  const auto sys = tiny_system();
+  const md::ForceField ff(sys.topology);
+  const auto e = ff.evaluate(sys.positions, nullptr);
+  const double direct = ff.interaction_energy(sys.positions);
+  EXPECT_NEAR(e.interaction, direct, 1e-9);
+  // A protein-only system has zero interaction energy.
+  auto prot_only = tiny_system();
+  prot_only.topology.beads[3].kind = md::BeadKind::Protein;
+  const md::ForceField ff2(prot_only.topology);
+  EXPECT_EQ(ff2.evaluate(prot_only.positions, nullptr).interaction, 0.0);
+}
+
+TEST(ForceField, BondEnergyZeroAtRestLength) {
+  md::System sys;
+  sys.topology.beads.resize(2);
+  sys.topology.bonds.push_back({0, 1, 2.5, 40.0});
+  sys.positions = {{0, 0, 0}, {2.5, 0, 0}};
+  const md::ForceField ff(sys.topology);
+  EXPECT_NEAR(ff.evaluate(sys.positions, nullptr).bond, 0.0, 1e-12);
+  sys.positions[1].x = 3.0;
+  EXPECT_NEAR(ff.evaluate(sys.positions, nullptr).bond, 40.0 * 0.25, 1e-9);
+}
+
+// ---------------------------------------------------------------- minimizers
+
+TEST(Minimize, SteepestDescentLowersEnergy) {
+  auto sys = small_lpc(7);
+  const md::ForceField ff(sys.topology);
+  auto pos = sys.positions;
+  const auto res = md::minimize_steepest(ff, pos, 100);
+  EXPECT_LE(res.final_energy, res.initial_energy);
+  EXPECT_GT(res.iterations, 0);
+}
+
+TEST(Minimize, FireLowersEnergyAtLeastAsMuch) {
+  auto sys = small_lpc(8);
+  const md::ForceField ff(sys.topology);
+  auto p1 = sys.positions, p2 = sys.positions;
+  const auto sd = md::minimize_steepest(ff, p1, 150);
+  const auto fire = md::minimize_fire(ff, p2, 300);
+  EXPECT_LE(fire.final_energy, sd.initial_energy);
+  EXPECT_LE(fire.final_energy, sd.final_energy + 5.0);
+}
+
+// ---------------------------------------------------------------- integrator
+
+TEST(Langevin, TemperatureEquilibratesNearTarget) {
+  auto sys = small_lpc(9);
+  const md::ForceField ff(sys.topology);
+  auto pos = sys.positions;
+  md::minimize_steepest(ff, pos, 100);
+
+  md::LangevinOptions lo;
+  lo.temperature = 300.0;
+  lo.dt = 0.01;
+  md::LangevinIntegrator integ(ff, lo, 42);
+  std::vector<Vec3> vel;
+  integ.thermalize(vel);
+  integ.run(pos, vel, 300);
+
+  impeccable::common::RunningStats temp;
+  for (int i = 0; i < 30; ++i) {
+    integ.run(pos, vel, 10);
+    temp.add(integ.kinetic_temperature(vel));
+  }
+  EXPECT_NEAR(temp.mean(), 300.0, 60.0);
+}
+
+TEST(Langevin, DeterministicPerSeed) {
+  auto sys = small_lpc(10);
+  const md::ForceField ff(sys.topology);
+  auto run = [&](std::uint64_t seed) {
+    auto pos = sys.positions;
+    md::LangevinIntegrator integ(ff, {}, seed);
+    std::vector<Vec3> vel;
+    integ.thermalize(vel);
+    integ.run(pos, vel, 50);
+    return pos;
+  };
+  const auto a = run(5), b = run(5), c = run(6);
+  double same = 0, diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    same += impeccable::common::distance(a[i], b[i]);
+    diff += impeccable::common::distance(a[i], c[i]);
+  }
+  EXPECT_EQ(same, 0.0);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Langevin, ThermalizeMatchesMaxwellBoltzmann) {
+  auto sys = small_lpc(11);
+  const md::ForceField ff(sys.topology);
+  md::LangevinOptions lo;
+  lo.temperature = 250.0;
+  md::LangevinIntegrator integ(ff, lo, 77);
+  impeccable::common::RunningStats temps;
+  std::vector<Vec3> vel;
+  for (int i = 0; i < 40; ++i) {
+    integ.thermalize(vel);
+    temps.add(integ.kinetic_temperature(vel));
+  }
+  EXPECT_NEAR(temps.mean(), 250.0, 25.0);
+}
+
+// ---------------------------------------------------------------- builders
+
+TEST(Builders, ProteinChainIsConnectedAndPocketIsEmpty) {
+  md::ProteinOptions opts;
+  opts.residues = 80;
+  const auto sys = md::build_protein(4, opts);
+  EXPECT_EQ(sys.topology.bead_count(), 80);
+  EXPECT_EQ(sys.protein_beads, 80);
+  // Chain bonds exist between consecutive residues.
+  for (int i = 0; i + 1 < 80; ++i) EXPECT_TRUE(sys.topology.bonded(i, i + 1));
+  // No bead intrudes into the pocket core.
+  for (const auto& p : sys.positions) EXPECT_GT(p.norm(), opts.pocket_radius - 1.0);
+}
+
+TEST(Builders, ProteinIsStableUnderDynamics) {
+  md::ProteinOptions opts;
+  opts.residues = 60;
+  const auto sys = md::build_protein(5, opts);
+  md::SimulationOptions so;
+  so.production_steps = 300;
+  so.equilibration_steps = 100;
+  so.report_interval = 30;
+  const auto res = md::run_replica(sys, so, 11);
+  const auto rmsd = md::rmsd_series(res.trajectory,
+                                    sys.topology.selection(md::BeadKind::Protein));
+  // The elastic network must keep the fold together: bounded RMSD.
+  for (double r : rmsd) EXPECT_LT(r, 6.0);
+}
+
+TEST(Builders, LpcCombinesProteinAndLigand) {
+  const auto sys = small_lpc(12);
+  EXPECT_EQ(sys.protein_beads, 40);
+  EXPECT_GT(sys.ligand_beads, 5);
+  EXPECT_EQ(sys.topology.bead_count(), sys.protein_beads + sys.ligand_beads);
+  EXPECT_EQ(sys.positions.size(),
+            static_cast<std::size_t>(sys.topology.bead_count()));
+  // Ligand beads are typed Ligand.
+  const auto lig = sys.topology.selection(md::BeadKind::Ligand);
+  EXPECT_EQ(static_cast<int>(lig.size()), sys.ligand_beads);
+}
+
+TEST(Builders, LpcRejectsSizeMismatch) {
+  const auto protein = md::build_protein(2, {.residues = 20});
+  const auto mol = chem::parse_smiles("CCO");
+  std::vector<Vec3> coords(2);  // wrong size
+  EXPECT_THROW(md::build_lpc(protein, mol, coords), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- simulation
+
+TEST(Simulation, ProducesRequestedFrames) {
+  const auto sys = small_lpc(13);
+  md::SimulationOptions so;
+  so.production_steps = 200;
+  so.report_interval = 25;
+  const auto res = md::run_replica(sys, so, 3);
+  EXPECT_EQ(res.trajectory.size(), 8u);
+  EXPECT_EQ(res.md_steps, static_cast<std::uint64_t>(so.equilibration_steps +
+                                                     so.production_steps));
+  EXPECT_LE(res.minimization.final_energy, res.minimization.initial_energy);
+}
+
+TEST(Simulation, DeterministicPerSeed) {
+  const auto sys = small_lpc(14);
+  md::SimulationOptions so;
+  so.production_steps = 100;
+  so.report_interval = 20;
+  const auto a = md::run_replica(sys, so, 21);
+  const auto b = md::run_replica(sys, so, 21);
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  EXPECT_DOUBLE_EQ(a.trajectory.frames.back().energy.total(),
+                   b.trajectory.frames.back().energy.total());
+}
+
+// ---------------------------------------------------------------- analysis
+
+TEST(Analysis, RmsdSeriesStartsAtZero) {
+  const auto sys = small_lpc(15);
+  md::SimulationOptions so;
+  so.production_steps = 100;
+  so.report_interval = 20;
+  const auto res = md::run_replica(sys, so, 5);
+  const auto rmsd = md::rmsd_series(res.trajectory,
+                                    sys.topology.selection(md::BeadKind::Protein));
+  ASSERT_FALSE(rmsd.empty());
+  // First stored frame is its own reference.
+  EXPECT_NEAR(rmsd.front(), 0.0, 1e-9);
+  for (double r : rmsd) EXPECT_GE(r, 0.0);
+}
+
+TEST(Analysis, ContactsDetectBoundLigand) {
+  const auto sys = small_lpc(16);
+  md::SimulationOptions so;
+  so.production_steps = 60;
+  so.report_interval = 20;
+  const auto res = md::run_replica(sys, so, 6);
+  const auto contacts = md::contact_series(res.trajectory, sys, 8.0);
+  ASSERT_FALSE(contacts.empty());
+  for (double c : contacts) EXPECT_GT(c, 0.0);
+}
+
+TEST(Analysis, PointCloudIsCenteredProteinOnly) {
+  const auto sys = small_lpc(17);
+  md::SimulationOptions so;
+  so.production_steps = 40;
+  so.report_interval = 40;
+  const auto res = md::run_replica(sys, so, 7);
+  const auto cloud = md::protein_point_cloud(res.trajectory.frames.front(), sys);
+  EXPECT_EQ(static_cast<int>(cloud.size()), sys.protein_beads);
+  Vec3 c;
+  for (const auto& p : cloud) c += p;
+  EXPECT_NEAR(c.norm() / static_cast<double>(cloud.size()), 0.0, 1e-9);
+}
+
+TEST(Analysis, FlopModelPositive) {
+  EXPECT_GT(md::flops_per_md_step(100, 2000), md::flops_per_md_step(10, 50));
+}
