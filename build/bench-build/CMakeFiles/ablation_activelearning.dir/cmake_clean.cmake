@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_activelearning"
+  "../bench/ablation_activelearning.pdb"
+  "CMakeFiles/ablation_activelearning.dir/ablation_activelearning.cpp.o"
+  "CMakeFiles/ablation_activelearning.dir/ablation_activelearning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_activelearning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

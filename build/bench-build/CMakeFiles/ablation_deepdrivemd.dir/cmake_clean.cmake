@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_deepdrivemd"
+  "../bench/ablation_deepdrivemd.pdb"
+  "CMakeFiles/ablation_deepdrivemd.dir/ablation_deepdrivemd.cpp.o"
+  "CMakeFiles/ablation_deepdrivemd.dir/ablation_deepdrivemd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deepdrivemd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_diversity"
+  "../bench/ablation_diversity.pdb"
+  "CMakeFiles/ablation_diversity.dir/ablation_diversity.cpp.o"
+  "CMakeFiles/ablation_diversity.dir/ablation_diversity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ensemble"
+  "../bench/ablation_ensemble.pdb"
+  "CMakeFiles/ablation_ensemble.dir/ablation_ensemble.cpp.o"
+  "CMakeFiles/ablation_ensemble.dir/ablation_ensemble.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_localsearch"
+  "../bench/ablation_localsearch.pdb"
+  "CMakeFiles/ablation_localsearch.dir/ablation_localsearch.cpp.o"
+  "CMakeFiles/ablation_localsearch.dir/ablation_localsearch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_localsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

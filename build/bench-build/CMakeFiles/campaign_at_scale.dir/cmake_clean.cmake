@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/campaign_at_scale"
+  "../bench/campaign_at_scale.pdb"
+  "CMakeFiles/campaign_at_scale.dir/campaign_at_scale.cpp.o"
+  "CMakeFiles/campaign_at_scale.dir/campaign_at_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_at_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_res"
+  "../bench/fig4_res.pdb"
+  "CMakeFiles/fig4_res.dir/fig4_res.cpp.o"
+  "CMakeFiles/fig4_res.dir/fig4_res.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_res.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

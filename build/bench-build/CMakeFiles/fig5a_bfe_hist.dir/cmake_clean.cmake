@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5a_bfe_hist"
+  "../bench/fig5a_bfe_hist.pdb"
+  "CMakeFiles/fig5a_bfe_hist.dir/fig5a_bfe_hist.cpp.o"
+  "CMakeFiles/fig5a_bfe_hist.dir/fig5a_bfe_hist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_bfe_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

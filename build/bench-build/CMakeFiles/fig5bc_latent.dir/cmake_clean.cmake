@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5bc_latent"
+  "../bench/fig5bc_latent.pdb"
+  "CMakeFiles/fig5bc_latent.dir/fig5bc_latent.cpp.o"
+  "CMakeFiles/fig5bc_latent.dir/fig5bc_latent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5bc_latent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5bc_latent.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cg_vs_fg"
+  "../bench/fig6_cg_vs_fg.pdb"
+  "CMakeFiles/fig6_cg_vs_fg.dir/fig6_cg_vs_fg.cpp.o"
+  "CMakeFiles/fig6_cg_vs_fg.dir/fig6_cg_vs_fg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cg_vs_fg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/raptor_scaling"
+  "../bench/raptor_scaling.pdb"
+  "CMakeFiles/raptor_scaling.dir/raptor_scaling.cpp.o"
+  "CMakeFiles/raptor_scaling.dir/raptor_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

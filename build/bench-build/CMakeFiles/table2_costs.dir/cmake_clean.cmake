@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_costs"
+  "../bench/table2_costs.pdb"
+  "CMakeFiles/table2_costs.dir/table2_costs.cpp.o"
+  "CMakeFiles/table2_costs.dir/table2_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

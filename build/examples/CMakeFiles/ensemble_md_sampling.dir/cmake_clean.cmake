@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_md_sampling.dir/ensemble_md_sampling.cpp.o"
+  "CMakeFiles/ensemble_md_sampling.dir/ensemble_md_sampling.cpp.o.d"
+  "ensemble_md_sampling"
+  "ensemble_md_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_md_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

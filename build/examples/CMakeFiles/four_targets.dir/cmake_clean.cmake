@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_targets.dir/four_targets.cpp.o"
+  "CMakeFiles/four_targets.dir/four_targets.cpp.o.d"
+  "four_targets"
+  "four_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raptor_throughput.dir/raptor_throughput.cpp.o"
+  "CMakeFiles/raptor_throughput.dir/raptor_throughput.cpp.o.d"
+  "raptor_throughput"
+  "raptor_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raptor_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

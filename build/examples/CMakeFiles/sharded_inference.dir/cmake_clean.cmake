@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_inference.dir/sharded_inference.cpp.o"
+  "CMakeFiles/sharded_inference.dir/sharded_inference.cpp.o.d"
+  "sharded_inference"
+  "sharded_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

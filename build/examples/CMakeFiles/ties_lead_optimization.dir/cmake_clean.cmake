@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ties_lead_optimization.dir/ties_lead_optimization.cpp.o"
+  "CMakeFiles/ties_lead_optimization.dir/ties_lead_optimization.cpp.o.d"
+  "ties_lead_optimization"
+  "ties_lead_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ties_lead_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

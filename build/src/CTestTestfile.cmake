@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("impeccable/common")
+subdirs("impeccable/chem")
+subdirs("impeccable/dock")
+subdirs("impeccable/md")
+subdirs("impeccable/fe")
+subdirs("impeccable/ml")
+subdirs("impeccable/hpc")
+subdirs("impeccable/rct")
+subdirs("impeccable/core")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impeccable/chem/depiction.cpp" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/depiction.cpp.o" "gcc" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/depiction.cpp.o.d"
+  "/root/repo/src/impeccable/chem/descriptors.cpp" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/descriptors.cpp.o" "gcc" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/descriptors.cpp.o.d"
+  "/root/repo/src/impeccable/chem/diversity.cpp" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/diversity.cpp.o" "gcc" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/diversity.cpp.o.d"
+  "/root/repo/src/impeccable/chem/fingerprint.cpp" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/fingerprint.cpp.o" "gcc" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/impeccable/chem/layout.cpp" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/layout.cpp.o" "gcc" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/layout.cpp.o.d"
+  "/root/repo/src/impeccable/chem/library.cpp" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/library.cpp.o" "gcc" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/library.cpp.o.d"
+  "/root/repo/src/impeccable/chem/molecule.cpp" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/molecule.cpp.o" "gcc" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/molecule.cpp.o.d"
+  "/root/repo/src/impeccable/chem/protonation.cpp" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/protonation.cpp.o" "gcc" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/protonation.cpp.o.d"
+  "/root/repo/src/impeccable/chem/scaffold.cpp" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/scaffold.cpp.o" "gcc" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/scaffold.cpp.o.d"
+  "/root/repo/src/impeccable/chem/smiles.cpp" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/smiles.cpp.o" "gcc" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/smiles.cpp.o.d"
+  "/root/repo/src/impeccable/chem/substructure.cpp" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/substructure.cpp.o" "gcc" "src/impeccable/chem/CMakeFiles/impeccable_chem.dir/substructure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/impeccable/common/CMakeFiles/impeccable_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

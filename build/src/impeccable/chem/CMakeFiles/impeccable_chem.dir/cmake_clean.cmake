@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeccable_chem.dir/depiction.cpp.o"
+  "CMakeFiles/impeccable_chem.dir/depiction.cpp.o.d"
+  "CMakeFiles/impeccable_chem.dir/descriptors.cpp.o"
+  "CMakeFiles/impeccable_chem.dir/descriptors.cpp.o.d"
+  "CMakeFiles/impeccable_chem.dir/diversity.cpp.o"
+  "CMakeFiles/impeccable_chem.dir/diversity.cpp.o.d"
+  "CMakeFiles/impeccable_chem.dir/fingerprint.cpp.o"
+  "CMakeFiles/impeccable_chem.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/impeccable_chem.dir/layout.cpp.o"
+  "CMakeFiles/impeccable_chem.dir/layout.cpp.o.d"
+  "CMakeFiles/impeccable_chem.dir/library.cpp.o"
+  "CMakeFiles/impeccable_chem.dir/library.cpp.o.d"
+  "CMakeFiles/impeccable_chem.dir/molecule.cpp.o"
+  "CMakeFiles/impeccable_chem.dir/molecule.cpp.o.d"
+  "CMakeFiles/impeccable_chem.dir/protonation.cpp.o"
+  "CMakeFiles/impeccable_chem.dir/protonation.cpp.o.d"
+  "CMakeFiles/impeccable_chem.dir/scaffold.cpp.o"
+  "CMakeFiles/impeccable_chem.dir/scaffold.cpp.o.d"
+  "CMakeFiles/impeccable_chem.dir/smiles.cpp.o"
+  "CMakeFiles/impeccable_chem.dir/smiles.cpp.o.d"
+  "CMakeFiles/impeccable_chem.dir/substructure.cpp.o"
+  "CMakeFiles/impeccable_chem.dir/substructure.cpp.o.d"
+  "libimpeccable_chem.a"
+  "libimpeccable_chem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeccable_chem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeccable_common.dir/kabsch.cpp.o"
+  "CMakeFiles/impeccable_common.dir/kabsch.cpp.o.d"
+  "CMakeFiles/impeccable_common.dir/stats.cpp.o"
+  "CMakeFiles/impeccable_common.dir/stats.cpp.o.d"
+  "CMakeFiles/impeccable_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/impeccable_common.dir/thread_pool.cpp.o.d"
+  "libimpeccable_common.a"
+  "libimpeccable_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeccable_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeccable_core.dir/campaign.cpp.o"
+  "CMakeFiles/impeccable_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/impeccable_core.dir/checkpoint.cpp.o"
+  "CMakeFiles/impeccable_core.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/impeccable_core.dir/deepdrivemd.cpp.o"
+  "CMakeFiles/impeccable_core.dir/deepdrivemd.cpp.o.d"
+  "libimpeccable_core.a"
+  "libimpeccable_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeccable_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

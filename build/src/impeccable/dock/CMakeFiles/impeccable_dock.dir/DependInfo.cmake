@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impeccable/dock/engine.cpp" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/engine.cpp.o" "gcc" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/engine.cpp.o.d"
+  "/root/repo/src/impeccable/dock/grid.cpp" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/grid.cpp.o" "gcc" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/grid.cpp.o.d"
+  "/root/repo/src/impeccable/dock/ligand.cpp" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/ligand.cpp.o" "gcc" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/ligand.cpp.o.d"
+  "/root/repo/src/impeccable/dock/receptor.cpp" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/receptor.cpp.o" "gcc" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/receptor.cpp.o.d"
+  "/root/repo/src/impeccable/dock/score.cpp" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/score.cpp.o" "gcc" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/score.cpp.o.d"
+  "/root/repo/src/impeccable/dock/search.cpp" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/search.cpp.o" "gcc" "src/impeccable/dock/CMakeFiles/impeccable_dock.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/impeccable/chem/CMakeFiles/impeccable_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/common/CMakeFiles/impeccable_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeccable_dock.dir/engine.cpp.o"
+  "CMakeFiles/impeccable_dock.dir/engine.cpp.o.d"
+  "CMakeFiles/impeccable_dock.dir/grid.cpp.o"
+  "CMakeFiles/impeccable_dock.dir/grid.cpp.o.d"
+  "CMakeFiles/impeccable_dock.dir/ligand.cpp.o"
+  "CMakeFiles/impeccable_dock.dir/ligand.cpp.o.d"
+  "CMakeFiles/impeccable_dock.dir/receptor.cpp.o"
+  "CMakeFiles/impeccable_dock.dir/receptor.cpp.o.d"
+  "CMakeFiles/impeccable_dock.dir/score.cpp.o"
+  "CMakeFiles/impeccable_dock.dir/score.cpp.o.d"
+  "CMakeFiles/impeccable_dock.dir/search.cpp.o"
+  "CMakeFiles/impeccable_dock.dir/search.cpp.o.d"
+  "libimpeccable_dock.a"
+  "libimpeccable_dock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeccable_dock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for impeccable_dock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impeccable/fe/esmacs.cpp" "src/impeccable/fe/CMakeFiles/impeccable_fe.dir/esmacs.cpp.o" "gcc" "src/impeccable/fe/CMakeFiles/impeccable_fe.dir/esmacs.cpp.o.d"
+  "/root/repo/src/impeccable/fe/mmpbsa.cpp" "src/impeccable/fe/CMakeFiles/impeccable_fe.dir/mmpbsa.cpp.o" "gcc" "src/impeccable/fe/CMakeFiles/impeccable_fe.dir/mmpbsa.cpp.o.d"
+  "/root/repo/src/impeccable/fe/ties.cpp" "src/impeccable/fe/CMakeFiles/impeccable_fe.dir/ties.cpp.o" "gcc" "src/impeccable/fe/CMakeFiles/impeccable_fe.dir/ties.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/impeccable/md/CMakeFiles/impeccable_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/common/CMakeFiles/impeccable_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/dock/CMakeFiles/impeccable_dock.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/chem/CMakeFiles/impeccable_chem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeccable_fe.dir/esmacs.cpp.o"
+  "CMakeFiles/impeccable_fe.dir/esmacs.cpp.o.d"
+  "CMakeFiles/impeccable_fe.dir/mmpbsa.cpp.o"
+  "CMakeFiles/impeccable_fe.dir/mmpbsa.cpp.o.d"
+  "CMakeFiles/impeccable_fe.dir/ties.cpp.o"
+  "CMakeFiles/impeccable_fe.dir/ties.cpp.o.d"
+  "libimpeccable_fe.a"
+  "libimpeccable_fe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeccable_fe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impeccable/hpc/cluster.cpp" "src/impeccable/hpc/CMakeFiles/impeccable_hpc.dir/cluster.cpp.o" "gcc" "src/impeccable/hpc/CMakeFiles/impeccable_hpc.dir/cluster.cpp.o.d"
+  "/root/repo/src/impeccable/hpc/des.cpp" "src/impeccable/hpc/CMakeFiles/impeccable_hpc.dir/des.cpp.o" "gcc" "src/impeccable/hpc/CMakeFiles/impeccable_hpc.dir/des.cpp.o.d"
+  "/root/repo/src/impeccable/hpc/flops.cpp" "src/impeccable/hpc/CMakeFiles/impeccable_hpc.dir/flops.cpp.o" "gcc" "src/impeccable/hpc/CMakeFiles/impeccable_hpc.dir/flops.cpp.o.d"
+  "/root/repo/src/impeccable/hpc/machine.cpp" "src/impeccable/hpc/CMakeFiles/impeccable_hpc.dir/machine.cpp.o" "gcc" "src/impeccable/hpc/CMakeFiles/impeccable_hpc.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/impeccable/common/CMakeFiles/impeccable_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeccable_hpc.dir/cluster.cpp.o"
+  "CMakeFiles/impeccable_hpc.dir/cluster.cpp.o.d"
+  "CMakeFiles/impeccable_hpc.dir/des.cpp.o"
+  "CMakeFiles/impeccable_hpc.dir/des.cpp.o.d"
+  "CMakeFiles/impeccable_hpc.dir/flops.cpp.o"
+  "CMakeFiles/impeccable_hpc.dir/flops.cpp.o.d"
+  "CMakeFiles/impeccable_hpc.dir/machine.cpp.o"
+  "CMakeFiles/impeccable_hpc.dir/machine.cpp.o.d"
+  "libimpeccable_hpc.a"
+  "libimpeccable_hpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeccable_hpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

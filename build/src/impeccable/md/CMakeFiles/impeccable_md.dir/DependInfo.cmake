@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impeccable/md/analysis.cpp" "src/impeccable/md/CMakeFiles/impeccable_md.dir/analysis.cpp.o" "gcc" "src/impeccable/md/CMakeFiles/impeccable_md.dir/analysis.cpp.o.d"
+  "/root/repo/src/impeccable/md/forcefield.cpp" "src/impeccable/md/CMakeFiles/impeccable_md.dir/forcefield.cpp.o" "gcc" "src/impeccable/md/CMakeFiles/impeccable_md.dir/forcefield.cpp.o.d"
+  "/root/repo/src/impeccable/md/integrator.cpp" "src/impeccable/md/CMakeFiles/impeccable_md.dir/integrator.cpp.o" "gcc" "src/impeccable/md/CMakeFiles/impeccable_md.dir/integrator.cpp.o.d"
+  "/root/repo/src/impeccable/md/io.cpp" "src/impeccable/md/CMakeFiles/impeccable_md.dir/io.cpp.o" "gcc" "src/impeccable/md/CMakeFiles/impeccable_md.dir/io.cpp.o.d"
+  "/root/repo/src/impeccable/md/simulation.cpp" "src/impeccable/md/CMakeFiles/impeccable_md.dir/simulation.cpp.o" "gcc" "src/impeccable/md/CMakeFiles/impeccable_md.dir/simulation.cpp.o.d"
+  "/root/repo/src/impeccable/md/system.cpp" "src/impeccable/md/CMakeFiles/impeccable_md.dir/system.cpp.o" "gcc" "src/impeccable/md/CMakeFiles/impeccable_md.dir/system.cpp.o.d"
+  "/root/repo/src/impeccable/md/topology.cpp" "src/impeccable/md/CMakeFiles/impeccable_md.dir/topology.cpp.o" "gcc" "src/impeccable/md/CMakeFiles/impeccable_md.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/impeccable/dock/CMakeFiles/impeccable_dock.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/chem/CMakeFiles/impeccable_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/common/CMakeFiles/impeccable_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

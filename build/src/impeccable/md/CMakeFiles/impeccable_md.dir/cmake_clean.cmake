@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeccable_md.dir/analysis.cpp.o"
+  "CMakeFiles/impeccable_md.dir/analysis.cpp.o.d"
+  "CMakeFiles/impeccable_md.dir/forcefield.cpp.o"
+  "CMakeFiles/impeccable_md.dir/forcefield.cpp.o.d"
+  "CMakeFiles/impeccable_md.dir/integrator.cpp.o"
+  "CMakeFiles/impeccable_md.dir/integrator.cpp.o.d"
+  "CMakeFiles/impeccable_md.dir/io.cpp.o"
+  "CMakeFiles/impeccable_md.dir/io.cpp.o.d"
+  "CMakeFiles/impeccable_md.dir/simulation.cpp.o"
+  "CMakeFiles/impeccable_md.dir/simulation.cpp.o.d"
+  "CMakeFiles/impeccable_md.dir/system.cpp.o"
+  "CMakeFiles/impeccable_md.dir/system.cpp.o.d"
+  "CMakeFiles/impeccable_md.dir/topology.cpp.o"
+  "CMakeFiles/impeccable_md.dir/topology.cpp.o.d"
+  "libimpeccable_md.a"
+  "libimpeccable_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeccable_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impeccable/ml/aae.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/aae.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/aae.cpp.o.d"
+  "/root/repo/src/impeccable/ml/layers.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/layers.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/layers.cpp.o.d"
+  "/root/repo/src/impeccable/ml/lof.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/lof.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/lof.cpp.o.d"
+  "/root/repo/src/impeccable/ml/loss.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/loss.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/loss.cpp.o.d"
+  "/root/repo/src/impeccable/ml/optim.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/optim.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/optim.cpp.o.d"
+  "/root/repo/src/impeccable/ml/res.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/res.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/res.cpp.o.d"
+  "/root/repo/src/impeccable/ml/shards.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/shards.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/shards.cpp.o.d"
+  "/root/repo/src/impeccable/ml/surrogate.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/surrogate.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/surrogate.cpp.o.d"
+  "/root/repo/src/impeccable/ml/tensor.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/tensor.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/tensor.cpp.o.d"
+  "/root/repo/src/impeccable/ml/tsne.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/tsne.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/tsne.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/impeccable/chem/CMakeFiles/impeccable_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/common/CMakeFiles/impeccable_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

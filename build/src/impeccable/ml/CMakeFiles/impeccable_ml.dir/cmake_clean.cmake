@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeccable_ml.dir/aae.cpp.o"
+  "CMakeFiles/impeccable_ml.dir/aae.cpp.o.d"
+  "CMakeFiles/impeccable_ml.dir/layers.cpp.o"
+  "CMakeFiles/impeccable_ml.dir/layers.cpp.o.d"
+  "CMakeFiles/impeccable_ml.dir/lof.cpp.o"
+  "CMakeFiles/impeccable_ml.dir/lof.cpp.o.d"
+  "CMakeFiles/impeccable_ml.dir/loss.cpp.o"
+  "CMakeFiles/impeccable_ml.dir/loss.cpp.o.d"
+  "CMakeFiles/impeccable_ml.dir/optim.cpp.o"
+  "CMakeFiles/impeccable_ml.dir/optim.cpp.o.d"
+  "CMakeFiles/impeccable_ml.dir/res.cpp.o"
+  "CMakeFiles/impeccable_ml.dir/res.cpp.o.d"
+  "CMakeFiles/impeccable_ml.dir/shards.cpp.o"
+  "CMakeFiles/impeccable_ml.dir/shards.cpp.o.d"
+  "CMakeFiles/impeccable_ml.dir/surrogate.cpp.o"
+  "CMakeFiles/impeccable_ml.dir/surrogate.cpp.o.d"
+  "CMakeFiles/impeccable_ml.dir/tensor.cpp.o"
+  "CMakeFiles/impeccable_ml.dir/tensor.cpp.o.d"
+  "CMakeFiles/impeccable_ml.dir/tsne.cpp.o"
+  "CMakeFiles/impeccable_ml.dir/tsne.cpp.o.d"
+  "libimpeccable_ml.a"
+  "libimpeccable_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeccable_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

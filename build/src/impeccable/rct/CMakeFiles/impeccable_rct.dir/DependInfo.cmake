@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/impeccable/rct/backend.cpp" "src/impeccable/rct/CMakeFiles/impeccable_rct.dir/backend.cpp.o" "gcc" "src/impeccable/rct/CMakeFiles/impeccable_rct.dir/backend.cpp.o.d"
+  "/root/repo/src/impeccable/rct/entk.cpp" "src/impeccable/rct/CMakeFiles/impeccable_rct.dir/entk.cpp.o" "gcc" "src/impeccable/rct/CMakeFiles/impeccable_rct.dir/entk.cpp.o.d"
+  "/root/repo/src/impeccable/rct/profiler.cpp" "src/impeccable/rct/CMakeFiles/impeccable_rct.dir/profiler.cpp.o" "gcc" "src/impeccable/rct/CMakeFiles/impeccable_rct.dir/profiler.cpp.o.d"
+  "/root/repo/src/impeccable/rct/raptor.cpp" "src/impeccable/rct/CMakeFiles/impeccable_rct.dir/raptor.cpp.o" "gcc" "src/impeccable/rct/CMakeFiles/impeccable_rct.dir/raptor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/impeccable/hpc/CMakeFiles/impeccable_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/common/CMakeFiles/impeccable_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

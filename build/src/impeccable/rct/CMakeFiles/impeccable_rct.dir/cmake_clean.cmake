@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impeccable_rct.dir/backend.cpp.o"
+  "CMakeFiles/impeccable_rct.dir/backend.cpp.o.d"
+  "CMakeFiles/impeccable_rct.dir/entk.cpp.o"
+  "CMakeFiles/impeccable_rct.dir/entk.cpp.o.d"
+  "CMakeFiles/impeccable_rct.dir/profiler.cpp.o"
+  "CMakeFiles/impeccable_rct.dir/profiler.cpp.o.d"
+  "CMakeFiles/impeccable_rct.dir/raptor.cpp.o"
+  "CMakeFiles/impeccable_rct.dir/raptor.cpp.o.d"
+  "libimpeccable_rct.a"
+  "libimpeccable_rct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impeccable_rct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for impeccable_rct.
+# This may be replaced when dependencies are built.

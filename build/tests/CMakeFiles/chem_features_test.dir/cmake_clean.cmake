@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chem_features_test.dir/chem_features_test.cpp.o"
+  "CMakeFiles/chem_features_test.dir/chem_features_test.cpp.o.d"
+  "chem_features_test"
+  "chem_features_test.pdb"
+  "chem_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chem_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chem_smiles_test.dir/chem_smiles_test.cpp.o"
+  "CMakeFiles/chem_smiles_test.dir/chem_smiles_test.cpp.o.d"
+  "chem_smiles_test"
+  "chem_smiles_test.pdb"
+  "chem_smiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chem_smiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddmd_profiler_test.dir/ddmd_profiler_test.cpp.o"
+  "CMakeFiles/ddmd_profiler_test.dir/ddmd_profiler_test.cpp.o.d"
+  "ddmd_profiler_test"
+  "ddmd_profiler_test.pdb"
+  "ddmd_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddmd_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dock_test.dir/dock_test.cpp.o"
+  "CMakeFiles/dock_test.dir/dock_test.cpp.o.d"
+  "dock_test"
+  "dock_test.pdb"
+  "dock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

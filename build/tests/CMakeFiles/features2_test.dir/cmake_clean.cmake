@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features2_test.dir/features2_test.cpp.o"
+  "CMakeFiles/features2_test.dir/features2_test.cpp.o.d"
+  "features2_test"
+  "features2_test.pdb"
+  "features2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

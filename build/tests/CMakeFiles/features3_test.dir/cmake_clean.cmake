@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features3_test.dir/features3_test.cpp.o"
+  "CMakeFiles/features3_test.dir/features3_test.cpp.o.d"
+  "features3_test"
+  "features3_test.pdb"
+  "features3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

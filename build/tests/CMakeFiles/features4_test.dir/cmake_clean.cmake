@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features4_test.dir/features4_test.cpp.o"
+  "CMakeFiles/features4_test.dir/features4_test.cpp.o.d"
+  "features4_test"
+  "features4_test.pdb"
+  "features4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/features5_test.dir/features5_test.cpp.o"
+  "CMakeFiles/features5_test.dir/features5_test.cpp.o.d"
+  "features5_test"
+  "features5_test.pdb"
+  "features5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/features5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

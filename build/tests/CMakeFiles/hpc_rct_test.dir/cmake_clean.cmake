@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_rct_test.dir/hpc_rct_test.cpp.o"
+  "CMakeFiles/hpc_rct_test.dir/hpc_rct_test.cpp.o.d"
+  "hpc_rct_test"
+  "hpc_rct_test.pdb"
+  "hpc_rct_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_rct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

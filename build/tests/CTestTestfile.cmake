@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/chem_smiles_test[1]_include.cmake")
+include("/root/repo/build/tests/chem_features_test[1]_include.cmake")
+include("/root/repo/build/tests/dock_test[1]_include.cmake")
+include("/root/repo/build/tests/md_test[1]_include.cmake")
+include("/root/repo/build/tests/fe_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/hpc_rct_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/ddmd_profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/features2_test[1]_include.cmake")
+include("/root/repo/build/tests/features3_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/features4_test[1]_include.cmake")
+include("/root/repo/build/tests/features5_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis2_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
