@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/impeccable/ml/aae.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/aae.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/aae.cpp.o.d"
+  "/root/repo/src/impeccable/ml/gemm.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/gemm.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/gemm.cpp.o.d"
   "/root/repo/src/impeccable/ml/layers.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/layers.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/layers.cpp.o.d"
   "/root/repo/src/impeccable/ml/lof.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/lof.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/lof.cpp.o.d"
   "/root/repo/src/impeccable/ml/loss.cpp" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/loss.cpp.o" "gcc" "src/impeccable/ml/CMakeFiles/impeccable_ml.dir/loss.cpp.o.d"

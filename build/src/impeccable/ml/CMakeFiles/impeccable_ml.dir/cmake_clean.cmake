@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/impeccable_ml.dir/aae.cpp.o"
   "CMakeFiles/impeccable_ml.dir/aae.cpp.o.d"
+  "CMakeFiles/impeccable_ml.dir/gemm.cpp.o"
+  "CMakeFiles/impeccable_ml.dir/gemm.cpp.o.d"
   "CMakeFiles/impeccable_ml.dir/layers.cpp.o"
   "CMakeFiles/impeccable_ml.dir/layers.cpp.o.d"
   "CMakeFiles/impeccable_ml.dir/lof.cpp.o"

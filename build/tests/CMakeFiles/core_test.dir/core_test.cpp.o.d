@@ -320,15 +320,6 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /root/repo/src/impeccable/chem/molecule.hpp \
  /root/repo/src/impeccable/chem/element.hpp \
  /root/repo/src/impeccable/dock/engine.hpp \
- /root/repo/src/impeccable/dock/receptor.hpp \
- /root/repo/src/impeccable/dock/grid.hpp \
- /root/repo/src/impeccable/common/vec3.hpp \
- /root/repo/src/impeccable/dock/search.hpp \
- /root/repo/src/impeccable/dock/score.hpp \
- /root/repo/src/impeccable/dock/ligand.hpp \
- /root/repo/src/impeccable/common/rng.hpp \
- /root/repo/src/impeccable/fe/esmacs.hpp \
- /root/repo/src/impeccable/common/stats.hpp /usr/include/c++/12/span \
  /root/repo/src/impeccable/common/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
@@ -341,6 +332,15 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/future /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/impeccable/dock/receptor.hpp \
+ /root/repo/src/impeccable/dock/grid.hpp \
+ /root/repo/src/impeccable/common/vec3.hpp \
+ /root/repo/src/impeccable/dock/search.hpp \
+ /root/repo/src/impeccable/dock/score.hpp \
+ /root/repo/src/impeccable/dock/ligand.hpp \
+ /root/repo/src/impeccable/common/rng.hpp \
+ /root/repo/src/impeccable/fe/esmacs.hpp \
+ /root/repo/src/impeccable/common/stats.hpp /usr/include/c++/12/span \
  /root/repo/src/impeccable/fe/mmpbsa.hpp \
  /root/repo/src/impeccable/md/simulation.hpp \
  /root/repo/src/impeccable/md/integrator.hpp \

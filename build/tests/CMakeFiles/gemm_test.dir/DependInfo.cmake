@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gemm_test.cpp" "tests/CMakeFiles/gemm_test.dir/gemm_test.cpp.o" "gcc" "tests/CMakeFiles/gemm_test.dir/gemm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/impeccable/core/CMakeFiles/impeccable_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/rct/CMakeFiles/impeccable_rct.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/hpc/CMakeFiles/impeccable_hpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/ml/CMakeFiles/impeccable_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/fe/CMakeFiles/impeccable_fe.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/md/CMakeFiles/impeccable_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/dock/CMakeFiles/impeccable_dock.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/chem/CMakeFiles/impeccable_chem.dir/DependInfo.cmake"
+  "/root/repo/build/src/impeccable/common/CMakeFiles/impeccable_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

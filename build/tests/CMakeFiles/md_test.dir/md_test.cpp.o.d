@@ -320,6 +320,18 @@ tests/CMakeFiles/md_test.dir/md_test.cpp.o: /root/repo/tests/md_test.cpp \
  /root/repo/src/impeccable/chem/element.hpp \
  /root/repo/src/impeccable/common/stats.hpp /usr/include/c++/12/span \
  /root/repo/src/impeccable/dock/engine.hpp \
+ /root/repo/src/impeccable/common/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/impeccable/dock/receptor.hpp \
  /root/repo/src/impeccable/dock/grid.hpp \
  /root/repo/src/impeccable/common/vec3.hpp \

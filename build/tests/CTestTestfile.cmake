@@ -5,6 +5,8 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/gemm_test[1]_include.cmake")
 include("/root/repo/build/tests/chem_smiles_test[1]_include.cmake")
 include("/root/repo/build/tests/chem_features_test[1]_include.cmake")
 include("/root/repo/build/tests/dock_test[1]_include.cmake")

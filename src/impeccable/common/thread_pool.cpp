@@ -1,66 +1,206 @@
 #include "impeccable/common/thread_pool.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace impeccable::common {
 
+namespace {
+
+/// Identifies the pool (and worker slot) the current thread belongs to, so
+/// submit() from inside a task lands on the local deque.
+struct TlsSlot {
+  ThreadPool* pool = nullptr;
+  std::size_t id = 0;
+};
+thread_local TlsSlot tls_slot;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<Worker>());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
   {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
+    std::lock_guard lk(sleep_mu_);
   }
-  cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  sleep_cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::enqueue(std::function<void()> job) {
+  if (!try_enqueue(std::move(job)))
+    throw std::runtime_error("ThreadPool: submit after stop");
+}
+
+bool ThreadPool::try_enqueue(std::function<void()> job) {
+  if (stopping_.load()) return false;
+  unfinished_.fetch_add(1);
+  if (tls_slot.pool == this) {
+    Worker& self = *queues_[tls_slot.id];
+    std::lock_guard lk(self.mu);
+    self.jobs.push_back(std::move(job));
+  } else {
+    std::lock_guard lk(global_mu_);
+    global_.push_back(std::move(job));
+  }
+  wake_one();
+  return true;
+}
+
+void ThreadPool::wake_one() {
+  if (sleepers_.load() > 0) {
+    std::lock_guard lk(sleep_mu_);
+    sleep_cv_.notify_one();
+  }
+}
+
+void ThreadPool::finish_one() {
+  if (unfinished_.fetch_sub(1) == 1) {
+    std::lock_guard lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::take_any(std::size_t id, std::function<void()>& out) {
+  // 1. Own deque, back first (LIFO — most recently pushed, cache-hot).
+  {
+    Worker& self = *queues_[id];
+    std::lock_guard lk(self.mu);
+    if (!self.jobs.empty()) {
+      out = std::move(self.jobs.back());
+      self.jobs.pop_back();
+      return true;
+    }
+  }
+  // 2. Global overflow queue, front (FIFO).
+  {
+    std::lock_guard lk(global_mu_);
+    if (!global_.empty()) {
+      out = std::move(global_.front());
+      global_.pop_front();
+      return true;
+    }
+  }
+  // 3. Steal from a victim's front (FIFO — oldest, coarsest work).
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Worker& victim = *queues_[(id + k) % n];
+    std::lock_guard lk(victim.mu);
+    if (!victim.jobs.empty()) {
+      out = std::move(victim.jobs.front());
+      victim.jobs.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::has_work() {
+  {
+    std::lock_guard lk(global_mu_);
+    if (!global_.empty()) return true;
+  }
+  for (auto& q : queues_) {
+    std::lock_guard lk(q->mu);
+    if (!q->jobs.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  tls_slot = {this, id};
   for (;;) {
     std::function<void()> job;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+    if (take_any(id, job)) {
+      job();
+      job = nullptr;  // release captures before finish_one wakes wait_idle
+      finish_one();
+      continue;
     }
-    job();
-    {
-      std::lock_guard lock(mutex_);
-      --active_;
-      if (active_ == 0 && queue_.empty()) idle_cv_.notify_all();
+    std::unique_lock lk(sleep_mu_);
+    sleepers_.fetch_add(1);
+    // Recheck under sleep_mu_: pairs with try_enqueue's push-then-load so a
+    // job published after our failed take_any cannot be missed.
+    if (has_work()) {
+      sleepers_.fetch_sub(1);
+      continue;
     }
+    if (stopping_.load()) {
+      sleepers_.fetch_sub(1);
+      return;  // stopping and fully drained
+    }
+    sleep_cv_.wait(lk);
+    sleepers_.fetch_sub(1);
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return active_ == 0 && queue_.empty(); });
+  std::unique_lock lk(idle_mu_);
+  idle_cv_.wait(lk, [this] { return unfinished_.load() == 0; });
 }
 
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body) {
-  if (begin >= end) return;
-  const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, pool.size() * 4));
-  const std::size_t step = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futs;
-  futs.reserve(chunks);
-  for (std::size_t c = begin; c < end; c += step) {
-    const std::size_t lo = c;
-    const std::size_t hi = std::min(end, c + step);
-    futs.push_back(pool.submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
+std::size_t ThreadPool::default_grain(std::size_t n) const {
+  // Aim for ~8 chunks per worker: enough slack for stealing to balance load,
+  // few enough that the per-chunk dispenser cost stays negligible.
+  return std::max<std::size_t>(1, n / (8 * std::max<std::size_t>(1, size())));
+}
+
+void ThreadPool::drain_pfor(detail::PforState& st) {
+  for (;;) {
+    const std::size_t lo = st.next.fetch_add(st.grain);
+    if (lo >= st.end) break;
+    const std::size_t hi = std::min(st.end, lo + st.grain);
+    std::size_t fail_at = lo;
+    std::exception_ptr err;
+    try {
+      st.run_range(st.ctx, lo, hi, &fail_at);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (err) {
+      std::lock_guard lk(st.mu);
+      if (fail_at < st.first_error_index) {
+        st.first_error_index = fail_at;
+        st.first_error = err;
+      }
+    }
+    if (st.chunks_done.fetch_add(1) + 1 == st.chunks_total) {
+      std::lock_guard lk(st.mu);
+      st.cv.notify_all();
+    }
   }
-  for (auto& f : futs) f.get();
+}
+
+void ThreadPool::run_pfor(const std::shared_ptr<detail::PforState>& st) {
+  // Helper tickets: bounded by worker count, not chunk count. Each ticket
+  // drains the shared dispenser; tickets that run after completion observe
+  // an exhausted dispenser and return without touching the (dead) body.
+  const std::size_t tickets = std::min(size(), st->chunks_total - 1);
+  for (std::size_t t = 0; t < tickets; ++t) {
+    if (!try_enqueue([st] { drain_pfor(*st); })) break;  // pool stopping
+  }
+  drain_pfor(*st);
+  {
+    std::unique_lock lk(st->mu);
+    st->cv.wait(lk, [&] {
+      return st->chunks_done.load() == st->chunks_total;
+    });
+  }
+  if (st->first_error) std::rethrow_exception(st->first_error);
 }
 
 }  // namespace impeccable::common

@@ -13,6 +13,7 @@
 #include "impeccable/common/stats.hpp"
 #include "impeccable/md/analysis.hpp"
 #include "impeccable/md/simulation.hpp"
+#include "impeccable/ml/gemm.hpp"
 #include "impeccable/ml/lof.hpp"
 #include "impeccable/ml/res.hpp"
 #include "impeccable/rct/backend.hpp"
@@ -131,6 +132,13 @@ CampaignReport Campaign::run() {
   rct::LocalBackend local(config_.threads);
   rct::ProfiledBackend backend(local);
   rct::AppManager manager(backend);
+  // The ML1 surrogate picks the pool up through the process-wide compute
+  // pool (restored on exit so nothing dangles past `local`'s lifetime).
+  struct PoolGuard {
+    common::ThreadPool* prev;
+    explicit PoolGuard(common::ThreadPool* p) : prev(ml::set_compute_pool(p)) {}
+    ~PoolGuard() { ml::set_compute_pool(prev); }
+  } pool_guard(local.compute_pool());
   Rng campaign_rng(config_.seed);
 
   for (int iter = 0; iter < config_.iterations; ++iter) {
@@ -253,6 +261,7 @@ CampaignReport Campaign::run() {
         t.payload = [&, state, i] {
           dock::DockOptions dopts = config_.dock;
           dopts.seed = item_seed(config_.seed, 0xd0c, state->dock_indices[i]);
+          dopts.pool = backend.compute_pool();
           const auto& id = library.entries[state->dock_indices[i]].id;
           // S1 protocol: enumerate conformers, dock against every crystal
           // structure of the target, keep the best pose overall.
@@ -320,7 +329,8 @@ CampaignReport Campaign::run() {
             cfg.keep_trajectories = true;  // S2 consumes the ensembles
             state->cg_results[j] =
                 fe::run_esmacs(state->cg_systems[j], state->cg_rotatable[j], cfg,
-                               item_seed(config_.seed, 0xc6, j));
+                               item_seed(config_.seed, 0xc6, j),
+                               backend.compute_pool());
           };
           cg.tasks.push_back(std::move(t));
         }
@@ -421,7 +431,8 @@ CampaignReport Campaign::run() {
               t2.payload = [&, state, f] {
                 state->fg_results[f] = fe::run_esmacs(
                     state->fg_jobs[f].system, state->fg_jobs[f].rotatable,
-                    config_.esmacs_fg, item_seed(config_.seed, 0xf6, f));
+                    config_.esmacs_fg, item_seed(config_.seed, 0xf6, f),
+                    backend.compute_pool());
               };
               fg.tasks.push_back(std::move(t2));
             }

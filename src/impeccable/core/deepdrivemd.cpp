@@ -1,7 +1,6 @@
 #include "impeccable/core/deepdrivemd.hpp"
 
 #include <algorithm>
-#include <future>
 
 #include "impeccable/common/kabsch.hpp"
 #include "impeccable/common/rng.hpp"
@@ -95,10 +94,7 @@ DeepDriveMdResult run_deepdrivemd(const md::System& system,
                                 opts.seed ^ (round * 131 + s * 7 + 1));
     };
     if (pool) {
-      std::vector<std::future<void>> futs;
-      for (std::size_t s = 0; s < starts.size(); ++s)
-        futs.push_back(pool->submit([&, s] { run_one(s); }));
-      for (auto& f : futs) f.get();
+      common::parallel_for(*pool, 0, starts.size(), run_one, 1);
     } else {
       for (std::size_t s = 0; s < starts.size(); ++s) run_one(s);
     }

@@ -10,18 +10,29 @@ namespace impeccable::dock {
 DockResult dock(const AffinityGrid& grid, const chem::Molecule& mol,
                 const std::string& ligand_id, const DockOptions& opts) {
   const Ligand ligand(mol, opts.conformer_seed);
-  const ScoringFunction score(grid, ligand);
 
   struct RunOutput {
     LgaResult lga;
   };
-  std::vector<RunOutput> runs;
-  runs.reserve(static_cast<std::size_t>(opts.runs));
+  std::vector<RunOutput> runs(static_cast<std::size_t>(std::max(0, opts.runs)));
 
+  // Spawn the per-run RNG streams serially first — base.spawn() order is the
+  // determinism anchor — then execute the runs in any order. Each run gets
+  // its own ScoringFunction because run_lga reports per-run evaluation counts
+  // as a delta of the scorer's counter.
   common::Rng base(opts.seed ^ std::hash<std::string>{}(ligand_id));
-  for (int r = 0; r < opts.runs; ++r) {
-    common::Rng run_rng = base.spawn();
-    runs.push_back({run_lga(score, run_rng, opts.lga)});
+  std::vector<common::Rng> run_rngs;
+  run_rngs.reserve(runs.size());
+  for (std::size_t r = 0; r < runs.size(); ++r) run_rngs.push_back(base.spawn());
+
+  auto run_one = [&](std::size_t r) {
+    const ScoringFunction score(grid, ligand);
+    runs[r].lga = run_lga(score, run_rngs[r], opts.lga);
+  };
+  if (opts.pool && opts.pool->size() > 1 && runs.size() > 1) {
+    opts.pool->parallel_for(0, runs.size(), run_one, 1);
+  } else {
+    for (std::size_t r = 0; r < runs.size(); ++r) run_one(r);
   }
 
   // Cluster final poses by heavy-atom RMSD (docking frame is fixed by the
@@ -34,13 +45,16 @@ DockResult dock(const AffinityGrid& grid, const chem::Molecule& mol,
   out.ligand_id = ligand_id;
   out.torsion_count = ligand.torsion_count();
 
+  // Each cluster's representative coordinates are cached when the cluster is
+  // created (a run's best_coords are already built), so membership tests cost
+  // one RMSD instead of a coordinate rebuild per comparison.
+  std::vector<const std::vector<common::Vec3>*> cluster_coords;
   for (const auto& run : runs) {
     bool placed = false;
-    for (auto& cl : out.clusters) {
-      std::vector<common::Vec3> rep_coords;
-      ligand.build_coords(cl.representative, rep_coords);
-      if (common::rmsd_raw(rep_coords, run.lga.best_coords) < opts.cluster_rmsd) {
-        ++cl.members;
+    for (std::size_t c = 0; c < out.clusters.size(); ++c) {
+      if (common::rmsd_raw(*cluster_coords[c], run.lga.best_coords) <
+          opts.cluster_rmsd) {
+        ++out.clusters[c].members;
         placed = true;
         break;
       }
@@ -51,6 +65,7 @@ DockResult dock(const AffinityGrid& grid, const chem::Molecule& mol,
       cl.members = 1;
       cl.representative = run.lga.best_pose;
       out.clusters.push_back(std::move(cl));
+      cluster_coords.push_back(&run.lga.best_coords);
     }
     out.evaluations += run.lga.evaluations;
   }

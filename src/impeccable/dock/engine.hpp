@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "impeccable/chem/molecule.hpp"
+#include "impeccable/common/thread_pool.hpp"
 #include "impeccable/dock/receptor.hpp"
 #include "impeccable/dock/search.hpp"
 
@@ -24,6 +25,10 @@ struct DockOptions {
   LgaOptions lga;
   std::uint64_t seed = 0x0d0cULL;  ///< base seed; per-run streams derive from it
   std::uint64_t conformer_seed = 7;
+  /// Pool for the independent LGA runs (not owned, may be null = serial).
+  /// Per-run RNG streams are spawned serially before dispatch, so results
+  /// are identical whatever the pool size.
+  common::ThreadPool* pool = nullptr;
 };
 
 struct PoseCluster {

@@ -1,9 +1,9 @@
 #include "impeccable/fe/esmacs.hpp"
 
 #include <cmath>
-#include <future>
 
 #include "impeccable/common/rng.hpp"
+#include "impeccable/common/thread_pool.hpp"
 
 namespace impeccable::fe {
 
@@ -77,20 +77,14 @@ std::vector<ReplicaOutcome> run_batch(const md::System& lpc, int rotatable_bonds
     common::splitmix64(s);
     return s ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(r + 1));
   };
+  auto run_replica_slot = [&](std::size_t r) {
+    outcomes[r] = run_one(lpc, rotatable_bonds, config,
+                          replica_seed(first_replica + static_cast<int>(r)));
+  };
   if (pool) {
-    std::vector<std::future<void>> futs;
-    futs.reserve(static_cast<std::size_t>(count));
-    for (int r = 0; r < count; ++r) {
-      futs.push_back(pool->submit([&, r] {
-        outcomes[static_cast<std::size_t>(r)] =
-            run_one(lpc, rotatable_bonds, config, replica_seed(first_replica + r));
-      }));
-    }
-    for (auto& f : futs) f.get();
+    common::parallel_for(*pool, 0, outcomes.size(), run_replica_slot, 1);
   } else {
-    for (int r = 0; r < count; ++r)
-      outcomes[static_cast<std::size_t>(r)] =
-          run_one(lpc, rotatable_bonds, config, replica_seed(first_replica + r));
+    for (std::size_t r = 0; r < outcomes.size(); ++r) run_replica_slot(r);
   }
   return outcomes;
 }

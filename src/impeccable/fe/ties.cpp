@@ -1,10 +1,10 @@
 #include "impeccable/fe/ties.hpp"
 
 #include <cmath>
-#include <future>
 #include <stdexcept>
 
 #include "impeccable/common/rng.hpp"
+#include "impeccable/common/thread_pool.hpp"
 
 namespace impeccable::fe {
 
@@ -23,27 +23,26 @@ TiesResult run_ties(const md::System& lpc, const TiesConfig& config,
 
     std::vector<double> replica_means(
         static_cast<std::size_t>(config.replicas_per_window), 0.0);
-    std::uint64_t steps = 0;
+    std::vector<std::uint64_t> replica_steps(replica_means.size(), 0);
 
-    auto run_one = [&](int r) {
+    auto run_one = [&](std::size_t r) {
       std::uint64_t s = seed ^ (w * 0x517cc1b727220a95ULL) ^
                         (static_cast<std::uint64_t>(r + 1) * 0x2545f4914f6cdd1dULL);
       const auto out = md::run_replica(lpc, sim, s);
       // ⟨dH/dλ⟩ over stored frames (soft-core analytic derivative).
       common::RunningStats rs;
       for (const auto& f : out.trajectory.frames) rs.add(f.energy.dh_dlambda);
-      replica_means[static_cast<std::size_t>(r)] = rs.count() ? rs.mean() : 0.0;
-      return out.md_steps;
+      replica_means[r] = rs.count() ? rs.mean() : 0.0;
+      replica_steps[r] = out.md_steps;
     };
 
     if (pool) {
-      std::vector<std::future<std::uint64_t>> futs;
-      for (int r = 0; r < config.replicas_per_window; ++r)
-        futs.push_back(pool->submit([&, r] { return run_one(r); }));
-      for (auto& f : futs) steps += f.get();
+      common::parallel_for(*pool, 0, replica_means.size(), run_one, 1);
     } else {
-      for (int r = 0; r < config.replicas_per_window; ++r) steps += run_one(r);
+      for (std::size_t r = 0; r < replica_means.size(); ++r) run_one(r);
     }
+    std::uint64_t steps = 0;
+    for (std::uint64_t s : replica_steps) steps += s;
 
     TiesWindow win;
     win.lambda = lambda;

@@ -1,0 +1,49 @@
+#pragma once
+// Shared blocked/tiled SGEMM kernel — the one matrix multiply under every
+// dense and (via im2col) convolutional layer of the ML1 surrogate and the
+// 3D-AAE.
+//
+// Layout is row-major throughout. The kernel computes
+//     C (M×N) = alpha * op(A) * op(B) + beta * C
+// with op ∈ {identity, transpose}. Transposed operands are packed into a
+// contiguous scratch panel once per call, then a single register-blocked
+// "ikj" kernel streams over cache-sized K panels (GemmTiling). Row panels of
+// C can be fanned out over a ThreadPool.
+//
+// Determinism contract: for every C element the K-dimension accumulates in
+// ascending order with fixed tile boundaries, independent of thread count —
+// results are bit-identical with a serial run. The accumulation order also
+// matches the naive bias-first ascending-k loops the layers used before this
+// kernel existed, so trained weights are preserved across the rewrite.
+
+#include "impeccable/common/thread_pool.hpp"
+
+namespace impeccable::ml {
+
+enum class Trans { No, Yes };
+
+struct GemmTiling {
+  int kc = 256;  ///< K panel height (keeps a B panel resident in L1/L2)
+  int mc = 32;   ///< C rows per parallel task
+  int mr = 4;    ///< register-blocked rows of the micro-kernel
+};
+
+/// Blocked SGEMM. `lda`/`ldb`/`ldc` are leading dimensions (row strides) of
+/// the STORED matrices (A is M×K when ta==No, K×M when ta==Yes; likewise B).
+/// `pool` enables row-panel parallelism; pass nullptr for serial.
+void gemm(Trans ta, Trans tb, int M, int N, int K, float alpha, const float* A,
+          int lda, const float* B, int ldb, float beta, float* C, int ldc,
+          common::ThreadPool* pool = nullptr, const GemmTiling& tiling = {});
+
+/// Naive triple-loop reference (tests and benches only).
+void gemm_naive(Trans ta, Trans tb, int M, int N, int K, float alpha,
+                const float* A, int lda, const float* B, int ldb, float beta,
+                float* C, int ldc);
+
+/// Process-wide compute pool used by the NN layers for intra-layer
+/// parallelism. Defaults to nullptr (serial). Not owned; the caller keeps
+/// the pool alive while it is installed. Returns the previous pool.
+common::ThreadPool* set_compute_pool(common::ThreadPool* pool);
+common::ThreadPool* compute_pool();
+
+}  // namespace impeccable::ml

@@ -1,10 +1,13 @@
 #include "impeccable/ml/layers.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
 #include <string>
+
+#include "impeccable/ml/gemm.hpp"
 
 namespace impeccable::ml {
 
@@ -27,35 +30,28 @@ Tensor Dense::forward(const Tensor& x) {
   input_ = x;
   const int n = x.dim(0), in = weight.dim(1), out = weight.dim(0);
   Tensor y({n, out});
-  for (int i = 0; i < n; ++i) {
-    for (int o = 0; o < out; ++o) {
-      float acc = bias[static_cast<std::size_t>(o)];
-      const float* wr = weight.data() + static_cast<std::size_t>(o) * in;
-      const float* xr = x.data() + static_cast<std::size_t>(i) * in;
-      for (int k = 0; k < in; ++k) acc += wr[k] * xr[k];
-      y.at(i, o) = acc;
-    }
-  }
+  // y = bias (broadcast over rows) + x · W^T, accumulated ascending-k — the
+  // same bias-first order as the original per-element loop.
+  for (int i = 0; i < n; ++i)
+    std::copy(bias.data(), bias.data() + out,
+              y.data() + static_cast<std::size_t>(i) * out);
+  gemm(Trans::No, Trans::Yes, n, out, in, 1.0f, x.data(), in, weight.data(), in,
+       1.0f, y.data(), out, compute_pool());
   return y;
 }
 
 Tensor Dense::backward(const Tensor& grad_out) {
   const int n = input_.dim(0), in = weight.dim(1), out = weight.dim(0);
+  // dL/dx = g · W (accumulates over `out` ascending, as the old o-loop did).
   Tensor grad_in({n, in});
+  gemm(Trans::No, Trans::No, n, in, out, 1.0f, grad_out.data(), out,
+       weight.data(), in, 0.0f, grad_in.data(), in, compute_pool());
+  // dL/dW += g^T · x (accumulates over rows ascending, as the old i-loop did).
+  gemm(Trans::Yes, Trans::No, out, in, n, 1.0f, grad_out.data(), out,
+       input_.data(), in, 1.0f, weight_grad.data(), in, compute_pool());
   for (int i = 0; i < n; ++i) {
     const float* gr = grad_out.data() + static_cast<std::size_t>(i) * out;
-    const float* xr = input_.data() + static_cast<std::size_t>(i) * in;
-    for (int o = 0; o < out; ++o) {
-      const float g = gr[o];
-      bias_grad[static_cast<std::size_t>(o)] += g;
-      float* wg = weight_grad.data() + static_cast<std::size_t>(o) * in;
-      const float* wr = weight.data() + static_cast<std::size_t>(o) * in;
-      float* gi = grad_in.data() + static_cast<std::size_t>(i) * in;
-      for (int k = 0; k < in; ++k) {
-        wg[k] += g * xr[k];
-        gi[k] += g * wr[k];
-      }
-    }
+    for (int o = 0; o < out; ++o) bias_grad[static_cast<std::size_t>(o)] += gr[o];
   }
   return grad_in;
 }
@@ -102,6 +98,64 @@ Tensor Sigmoid::backward(const Tensor& grad_out) {
 
 // ---------------------------------------------------------------- Conv3x3
 
+namespace {
+
+/// Unfold one image (cin, h, w) into a (cin*9) × (h*w) column matrix for the
+/// 3x3 same-padding convolution. Row k = ci*9 + (di+1)*3 + (dj+1) holds the
+/// input shifted by (di, dj), zero-padded — the k index matches the
+/// (Cout, Cin, 3, 3) weight layout flattened per output channel.
+void im2col3x3(const float* x, int cin, int h, int w, float* col) {
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
+  for (int ci = 0; ci < cin; ++ci) {
+    const float* plane = x + static_cast<std::size_t>(ci) * hw;
+    for (int di = -1; di <= 1; ++di) {
+      for (int dj = -1; dj <= 1; ++dj) {
+        float* row = col + static_cast<std::size_t>(ci * 9 + (di + 1) * 3 +
+                                                    (dj + 1)) * hw;
+        const int j0 = std::max(0, -dj), j1 = std::min(w, w - dj);
+        for (int i = 0; i < h; ++i) {
+          float* dst = row + static_cast<std::size_t>(i) * w;
+          const int ii = i + di;
+          if (ii < 0 || ii >= h || j0 >= j1) {
+            std::fill(dst, dst + w, 0.0f);
+            continue;
+          }
+          std::fill(dst, dst + j0, 0.0f);
+          const float* src = plane + static_cast<std::size_t>(ii) * w;
+          std::copy(src + j0 + dj, src + j1 + dj, dst + j0);
+          std::fill(dst + j1, dst + w, 0.0f);
+        }
+      }
+    }
+  }
+}
+
+/// Fold a (cin*9) × (h*w) gradient column matrix back into one image's
+/// (cin, h, w) input gradient, summing overlapping taps and dropping the
+/// padding positions.
+void col2im3x3(const float* col, int cin, int h, int w, float* gx) {
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
+  for (int ci = 0; ci < cin; ++ci) {
+    float* plane = gx + static_cast<std::size_t>(ci) * hw;
+    for (int di = -1; di <= 1; ++di) {
+      for (int dj = -1; dj <= 1; ++dj) {
+        const float* row = col + static_cast<std::size_t>(ci * 9 + (di + 1) * 3 +
+                                                          (dj + 1)) * hw;
+        const int j0 = std::max(0, -dj), j1 = std::min(w, w - dj);
+        for (int i = 0; i < h; ++i) {
+          const int ii = i + di;
+          if (ii < 0 || ii >= h || j0 >= j1) continue;
+          float* dst = plane + static_cast<std::size_t>(ii) * w + dj;
+          const float* src = row + static_cast<std::size_t>(i) * w;
+          for (int j = j0; j < j1; ++j) dst[j] += src[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Conv3x3::Conv3x3(int in_channels, int out_channels, common::Rng& rng)
     : weight(Tensor::randn({out_channels, in_channels, 3, 3}, rng,
                            std::sqrt(2.0f / (9.0f * in_channels)))),
@@ -115,27 +169,29 @@ Tensor Conv3x3::forward(const Tensor& x) {
   input_ = x;
   const int n = x.dim(0), cin = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int cout = weight.dim(0);
+  const int kdim = cin * 9;
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
   Tensor y({n, cout, h, w});
-  for (int b = 0; b < n; ++b) {
-    for (int co = 0; co < cout; ++co) {
-      for (int i = 0; i < h; ++i) {
-        for (int j = 0; j < w; ++j) {
-          float acc = bias[static_cast<std::size_t>(co)];
-          for (int ci = 0; ci < cin; ++ci) {
-            for (int di = -1; di <= 1; ++di) {
-              const int ii = i + di;
-              if (ii < 0 || ii >= h) continue;
-              for (int dj = -1; dj <= 1; ++dj) {
-                const int jj = j + dj;
-                if (jj < 0 || jj >= w) continue;
-                acc += weight.at(co, ci, di + 1, dj + 1) * x.at(b, ci, ii, jj);
-              }
-            }
-          }
-          y.at(b, co, i, j) = acc;
-        }
-      }
-    }
+  // Per image: Y_b (cout × hw) = bias + W (cout × cin*9) · im2col(x_b).
+  // Images write disjoint output slabs, so fanning out over the pool keeps
+  // results identical to the serial pass.
+  auto run_image = [&](std::size_t b) {
+    std::vector<float> col(static_cast<std::size_t>(kdim) * hw);
+    im2col3x3(x.data() + b * cin * hw, cin, h, w, col.data());
+    float* yb = y.data() + b * cout * hw;
+    for (int co = 0; co < cout; ++co)
+      std::fill(yb + static_cast<std::size_t>(co) * hw,
+                yb + static_cast<std::size_t>(co + 1) * hw,
+                bias[static_cast<std::size_t>(co)]);
+    gemm(Trans::No, Trans::No, cout, static_cast<int>(hw), kdim, 1.0f,
+         weight.data(), kdim, col.data(), static_cast<int>(hw), 1.0f, yb,
+         static_cast<int>(hw));
+  };
+  common::ThreadPool* pool = compute_pool();
+  if (pool && pool->size() > 1 && n > 1) {
+    pool->parallel_for(0, static_cast<std::size_t>(n), run_image, 1);
+  } else {
+    for (std::size_t b = 0; b < static_cast<std::size_t>(n); ++b) run_image(b);
   }
   return y;
 }
@@ -144,28 +200,38 @@ Tensor Conv3x3::backward(const Tensor& grad_out) {
   const int n = input_.dim(0), cin = input_.dim(1), h = input_.dim(2),
             w = input_.dim(3);
   const int cout = weight.dim(0);
+  const int kdim = cin * 9;
+  const std::size_t hw = static_cast<std::size_t>(h) * w;
   Tensor grad_in({n, cin, h, w});
-  for (int b = 0; b < n; ++b) {
+  // Pass 1 — input gradients, independent per image (disjoint slabs, safe to
+  // fan out): dcol_b = W^T · g_b, then fold back with col2im.
+  auto run_image = [&](std::size_t b) {
+    std::vector<float> dcol(static_cast<std::size_t>(kdim) * hw);
+    gemm(Trans::Yes, Trans::No, kdim, static_cast<int>(hw), cout, 1.0f,
+         weight.data(), kdim, grad_out.data() + b * cout * hw,
+         static_cast<int>(hw), 0.0f, dcol.data(), static_cast<int>(hw));
+    col2im3x3(dcol.data(), cin, h, w, grad_in.data() + b * cin * hw);
+  };
+  common::ThreadPool* pool = compute_pool();
+  if (pool && pool->size() > 1 && n > 1) {
+    pool->parallel_for(0, static_cast<std::size_t>(n), run_image, 1);
+  } else {
+    for (std::size_t b = 0; b < static_cast<std::size_t>(n); ++b) run_image(b);
+  }
+  // Pass 2 — parameter gradients, accumulated serially in ascending image
+  // order so results never depend on the pool size:
+  // dW += g_b · im2col(x_b)^T, db += row sums of g_b.
+  std::vector<float> col(static_cast<std::size_t>(kdim) * hw);
+  for (std::size_t b = 0; b < static_cast<std::size_t>(n); ++b) {
+    im2col3x3(input_.data() + b * cin * hw, cin, h, w, col.data());
+    const float* gb = grad_out.data() + b * cout * hw;
+    gemm(Trans::No, Trans::Yes, cout, kdim, static_cast<int>(hw), 1.0f, gb,
+         static_cast<int>(hw), col.data(), static_cast<int>(hw), 1.0f,
+         weight_grad.data(), kdim);
     for (int co = 0; co < cout; ++co) {
-      for (int i = 0; i < h; ++i) {
-        for (int j = 0; j < w; ++j) {
-          const float g = grad_out.at(b, co, i, j);
-          if (g == 0.0f) continue;
-          bias_grad[static_cast<std::size_t>(co)] += g;
-          for (int ci = 0; ci < cin; ++ci) {
-            for (int di = -1; di <= 1; ++di) {
-              const int ii = i + di;
-              if (ii < 0 || ii >= h) continue;
-              for (int dj = -1; dj <= 1; ++dj) {
-                const int jj = j + dj;
-                if (jj < 0 || jj >= w) continue;
-                weight_grad.at(co, ci, di + 1, dj + 1) += g * input_.at(b, ci, ii, jj);
-                grad_in.at(b, ci, ii, jj) += g * weight.at(co, ci, di + 1, dj + 1);
-              }
-            }
-          }
-        }
-      }
+      const float* row = gb + static_cast<std::size_t>(co) * hw;
+      float& bg = bias_grad[static_cast<std::size_t>(co)];
+      for (std::size_t p = 0; p < hw; ++p) bg += row[p];
     }
   }
   return grad_in;

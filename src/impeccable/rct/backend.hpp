@@ -38,6 +38,11 @@ class ExecutionBackend {
 
   /// Current backend clock in seconds.
   virtual double now() = 0;
+
+  /// Pool payloads may use for intra-task parallelism (GEMM row panels,
+  /// LGA runs, MD replicas). Null for backends with no real compute
+  /// resources, e.g. SimBackend.
+  virtual common::ThreadPool* compute_pool() { return nullptr; }
 };
 
 struct SimBackendOptions {
@@ -98,6 +103,7 @@ class LocalBackend : public ExecutionBackend {
   double now() override;
 
   common::ThreadPool& pool() { return pool_; }
+  common::ThreadPool* compute_pool() override { return &pool_; }
 
  private:
   common::ThreadPool pool_;

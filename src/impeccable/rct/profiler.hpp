@@ -58,6 +58,7 @@ class ProfiledBackend : public ExecutionBackend {
   }
   void drain() override { inner_.drain(); }
   double now() override { return inner_.now(); }
+  common::ThreadPool* compute_pool() override { return inner_.compute_pool(); }
 
   /// Snapshot of everything recorded so far.
   SessionProfile profile() const;

@@ -1,0 +1,230 @@
+// Execution engine v2 tests: work-stealing pool semantics (nesting, stealing,
+// exceptions, lifecycle) and the end-to-end determinism contract — dock() and
+// NN training must produce identical results at pool sizes 1 and 8.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "impeccable/chem/smiles.hpp"
+#include "impeccable/common/thread_pool.hpp"
+#include "impeccable/dock/engine.hpp"
+#include "impeccable/dock/receptor.hpp"
+#include "impeccable/ml/gemm.hpp"
+#include "impeccable/ml/layers.hpp"
+#include "impeccable/ml/optim.hpp"
+
+namespace ic = impeccable::common;
+namespace ml = impeccable::ml;
+namespace dock = impeccable::dock;
+namespace chem = impeccable::chem;
+
+// ---------------------------------------------------------------- pool
+
+TEST(ExecEngine, NestedParallelForCompletes) {
+  ic::ThreadPool pool(4);
+  const std::size_t outer = 8, inner = 64;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  pool.parallel_for(0, outer, [&](std::size_t i) {
+    // Nested parallel_for from inside a pool task: the calling task drains
+    // the inner dispenser itself, so this cannot deadlock even with every
+    // worker blocked in an outer iteration.
+    pool.parallel_for(0, inner, [&](std::size_t j) {
+      hits[i * inner + j].fetch_add(1);
+    }, 4);
+  }, 1);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExecEngine, ParallelForPropagatesLowestIndexException) {
+  ic::ThreadPool pool(8);
+  // Several iterations throw; the contract is that the exception from the
+  // lowest failing index wins, every time, whatever the stealing order.
+  for (int rep = 0; rep < 20; ++rep) {
+    std::atomic<int> executed{0};
+    try {
+      pool.parallel_for(0, 200, [&](std::size_t i) {
+        executed.fetch_add(1);
+        if (i >= 57 && i % 13 == 5) // fails at 57, 70, 83, ...
+          throw std::runtime_error("fail@" + std::to_string(i));
+      }, 4);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail@57");
+    }
+    // No cross-chunk cancellation: every chunk runs up to (and including) its
+    // first failing iteration, deterministically. With grain 4 the failing
+    // indices 57, 70, ..., 187 abandon 15 trailing in-chunk iterations.
+    EXPECT_EQ(executed.load(), 185);
+  }
+}
+
+TEST(ExecEngine, SubmitAfterShutdownThrows) {
+  ic::ThreadPool pool(2);
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+  pool.shutdown();
+  pool.shutdown();  // idempotent
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ExecEngine, SubmittedTaskExceptionsReachTheFuture) {
+  ic::ThreadPool pool(4);
+  // Flood the pool so some of these tasks get stolen off other workers'
+  // deques; the exception must still travel through the matching future.
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(pool.submit([i]() -> int {
+      if (i % 7 == 3) throw std::invalid_argument("bad " + std::to_string(i));
+      return i;
+    }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    if (i % 7 == 3) {
+      EXPECT_THROW(futs[static_cast<std::size_t>(i)].get(), std::invalid_argument);
+    } else {
+      EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i);
+    }
+  }
+}
+
+TEST(ExecEngine, WaitIdleUnderConcurrentSubmitters) {
+  ic::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  const int submitters = 4, jobs_each = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < submitters; ++t) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < jobs_each; ++j)
+        pool.submit([&] { done.fetch_add(1); });
+    });
+  }
+  for (auto& t : threads) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), submitters * jobs_each);
+}
+
+TEST(ExecEngine, ParallelForHonoursGrainChunks) {
+  ic::ThreadPool pool(4);
+  const std::size_t n = 103, grain = 8;
+  std::vector<std::thread::id> owner(n);
+  pool.parallel_for(0, n, [&](std::size_t i) {
+    owner[i] = std::this_thread::get_id();
+  }, grain);
+  // A grain-sized chunk is handed out as one unit: every index inside a
+  // chunk must have run on the same thread.
+  for (std::size_t c = 0; c < n; c += grain) {
+    const std::size_t hi = std::min(n, c + grain);
+    for (std::size_t i = c + 1; i < hi; ++i) EXPECT_EQ(owner[i], owner[c]);
+  }
+}
+
+TEST(ExecEngine, ParallelForCoversRangeForManyGrains) {
+  ic::ThreadPool pool(3);
+  for (std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(0, hits.size(), [&](std::size_t i) {
+      hits[i].fetch_add(1);
+    }, grain);
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+// ---------------------------------------------------------------- dock
+
+TEST(ExecEngine, DockIsIdenticalAtPoolSizes1And8) {
+  const auto receptor = dock::Receptor::synthesize("T1", 20);
+  dock::GridOptions gopts;
+  gopts.nodes = 25;
+  const auto grid = dock::compute_grid(receptor, gopts);
+  const auto mol = chem::parse_smiles("CCOc1ccccc1");
+
+  dock::DockOptions opts;
+  opts.runs = 6;
+  opts.lga.population = 20;
+  opts.lga.generations = 8;
+
+  const auto serial = dock::dock(*grid, mol, "L1", opts);
+
+  ic::ThreadPool pool(8);
+  opts.pool = &pool;
+  const auto parallel = dock::dock(*grid, mol, "L1", opts);
+
+  EXPECT_EQ(serial.best_score, parallel.best_score);
+  EXPECT_EQ(serial.evaluations, parallel.evaluations);
+  EXPECT_EQ(serial.best_pose.translation.x, parallel.best_pose.translation.x);
+  EXPECT_EQ(serial.best_pose.translation.y, parallel.best_pose.translation.y);
+  EXPECT_EQ(serial.best_pose.translation.z, parallel.best_pose.translation.z);
+  ASSERT_EQ(serial.clusters.size(), parallel.clusters.size());
+  for (std::size_t c = 0; c < serial.clusters.size(); ++c) {
+    EXPECT_EQ(serial.clusters[c].best_energy, parallel.clusters[c].best_energy);
+    EXPECT_EQ(serial.clusters[c].members, parallel.clusters[c].members);
+  }
+  ASSERT_EQ(serial.best_coords.size(), parallel.best_coords.size());
+  for (std::size_t a = 0; a < serial.best_coords.size(); ++a) {
+    EXPECT_EQ(serial.best_coords[a].x, parallel.best_coords[a].x);
+    EXPECT_EQ(serial.best_coords[a].y, parallel.best_coords[a].y);
+    EXPECT_EQ(serial.best_coords[a].z, parallel.best_coords[a].z);
+  }
+}
+
+// ---------------------------------------------------------------- training
+
+namespace {
+
+/// Train a small conv+dense net for a few SGD steps and return every
+/// parameter value, using whatever compute pool is installed.
+std::vector<float> train_small_net() {
+  ic::Rng rng(77);
+  ml::Sequential net;
+  net.add(std::make_unique<ml::Conv3x3>(2, 4, rng));
+  net.add(std::make_unique<ml::ReLU>());
+  net.add(std::make_unique<ml::Flatten>());
+  net.add(std::make_unique<ml::Dense>(4 * 6 * 6, 8, rng));
+  net.add(std::make_unique<ml::ReLU>());
+  net.add(std::make_unique<ml::Dense>(8, 1, rng));
+
+  const ml::Tensor x = ml::Tensor::randn({4, 2, 6, 6}, rng, 1.0f);
+  ml::Tensor target({4, 1});
+  for (int i = 0; i < 4; ++i) target.at(i, 0) = static_cast<float>(i % 2);
+
+  ml::Sgd sgd(net.params(), 0.05f);
+  for (int step = 0; step < 5; ++step) {
+    const ml::Tensor y = net.forward(x);
+    ml::Tensor g(y.shape());
+    for (std::size_t i = 0; i < y.size(); ++i)
+      g[i] = 2.0f * (y[i] - target[i]) / static_cast<float>(y.size());
+    net.backward(g);
+    sgd.step();
+  }
+
+  std::vector<float> flat;
+  for (const auto& p : net.params())
+    flat.insert(flat.end(), p.value->data(), p.value->data() + p.value->size());
+  return flat;
+}
+
+}  // namespace
+
+TEST(ExecEngine, TrainingIsBitwiseIdenticalAcrossComputePoolSizes) {
+  ml::set_compute_pool(nullptr);
+  const auto serial = train_small_net();
+
+  ic::ThreadPool pool(8);
+  ml::set_compute_pool(&pool);
+  const auto parallel = train_small_net();
+  ml::set_compute_pool(nullptr);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Bitwise, not approximate: the GEMM accumulation order is fixed.
+    EXPECT_EQ(std::memcmp(&serial[i], &parallel[i], sizeof(float)), 0)
+        << "param " << i << ": " << serial[i] << " vs " << parallel[i];
+  }
+}
