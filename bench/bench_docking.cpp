@@ -1,0 +1,170 @@
+// bench_docking — scorer throughput (evals/sec) and search-trajectory
+// fingerprints for the S1 inner loop, the workload behind BENCH_pr2.json.
+//
+// Two measurements:
+//   1. evals/sec of ScoringFunction::evaluate and evaluate_with_gradient on a
+//      fixed pose set per ligand, single-thread and pool-wide (one scorer per
+//      worker, as dock() uses them).
+//   2. Full dock() runs on seeded fixtures, recording best energies and
+//      ScoringFunction evaluation counts — identical numbers before and after
+//      a scorer change prove the search trajectories are unchanged.
+//
+// Usage: bench_docking [out.json]   (JSON also echoed to stdout)
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "impeccable/chem/smiles.hpp"
+#include "impeccable/common/thread_pool.hpp"
+#include "impeccable/dock/engine.hpp"
+#include "impeccable/dock/receptor.hpp"
+
+namespace chem = impeccable::chem;
+namespace dock = impeccable::dock;
+using impeccable::common::Rng;
+
+namespace {
+
+struct Fixture {
+  const char* id;
+  const char* smiles;
+};
+
+constexpr Fixture kLigands[] = {
+    {"aspirin", "CC(=O)Oc1ccccc1C(=O)O"},
+    {"ibuprofen", "CC(C)Cc1ccc(cc1)C(C)C(=O)O"},
+    {"phenetidine", "CCOc1ccc(N)cc1"},
+};
+
+double now_sec() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+struct EvalRates {
+  double plain = 0.0;     ///< evaluate() calls per second
+  double gradient = 0.0;  ///< evaluate_with_gradient() calls per second
+};
+
+/// Hammer one scorer over a fixed pose set for ~min_seconds.
+EvalRates measure_rates(const dock::AffinityGrid& grid, const dock::Ligand& lig,
+                        double min_seconds) {
+  const dock::ScoringFunction score(grid, lig);
+  Rng rng(0xbe9c);
+  std::vector<dock::Pose> poses;
+  for (int i = 0; i < 64; ++i)
+    poses.push_back(lig.random_pose(grid.pocket_center, 3.0, rng));
+
+  EvalRates out;
+  {
+    volatile double sink = 0.0;
+    // Warm up (first call sizes the scratch arena).
+    sink += score.evaluate(poses[0]);
+    std::uint64_t n = 0;
+    const double t0 = now_sec();
+    double t1 = t0;
+    while (t1 - t0 < min_seconds) {
+      for (const auto& p : poses) sink += score.evaluate(p);
+      n += poses.size();
+      t1 = now_sec();
+    }
+    out.plain = static_cast<double>(n) / (t1 - t0);
+  }
+  {
+    volatile double sink = 0.0;
+    dock::PoseGradient g;
+    sink += score.evaluate_with_gradient(poses[0], g);
+    std::uint64_t n = 0;
+    const double t0 = now_sec();
+    double t1 = t0;
+    while (t1 - t0 < min_seconds) {
+      for (const auto& p : poses) sink += score.evaluate_with_gradient(p, g);
+      n += poses.size();
+      t1 = now_sec();
+    }
+    out.gradient = static_cast<double>(n) / (t1 - t0);
+  }
+  return out;
+}
+
+/// Aggregate evals/sec with one scorer per pool worker (dock()'s pattern).
+double measure_pool_rate(const dock::AffinityGrid& grid, const dock::Ligand& lig,
+                         std::size_t workers, double min_seconds) {
+  impeccable::common::ThreadPool pool(workers);
+  std::vector<std::uint64_t> counts(workers, 0);
+  const double t0 = now_sec();
+  pool.parallel_for(0, workers, [&](std::size_t w) {
+    const dock::ScoringFunction score(grid, lig);
+    Rng rng(0xbe9c + w);
+    std::vector<dock::Pose> poses;
+    for (int i = 0; i < 64; ++i)
+      poses.push_back(lig.random_pose(grid.pocket_center, 3.0, rng));
+    volatile double sink = 0.0;
+    while (now_sec() - t0 < min_seconds)
+      for (const auto& p : poses) sink += score.evaluate(p);
+    counts[w] = score.evaluations();
+  }, 1);
+  const double elapsed = now_sec() - t0;
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  return static_cast<double>(total) / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto receptor = dock::Receptor::synthesize("BENCH", 42);
+  dock::GridOptions gopts;
+  gopts.nodes = 33;
+  const auto grid = dock::compute_grid(receptor, gopts);
+
+  const double min_seconds = 0.4;
+  const std::size_t workers = std::max(1u, std::thread::hardware_concurrency());
+
+  std::ostringstream json;
+  json.precision(17);
+  json << "{\n  \"workload\": \"bench_docking\",\n  \"grid_nodes\": "
+       << gopts.nodes << ",\n  \"pool_workers\": " << workers
+       << ",\n  \"ligands\": [\n";
+
+  bool first = true;
+  for (const Fixture& fx : kLigands) {
+    const auto mol = chem::parse_smiles(fx.smiles);
+    const dock::Ligand lig(mol, 3);
+    const EvalRates rates = measure_rates(*grid, lig, min_seconds);
+    const double pool_rate = measure_pool_rate(*grid, lig, workers, min_seconds);
+
+    // Search-trajectory fingerprint: seeded dock() best energy + eval count.
+    dock::DockOptions dopts;
+    dopts.runs = 2;
+    dopts.lga.population = 20;
+    dopts.lga.generations = 8;
+    const auto res = dock::dock(*grid, mol, fx.id, dopts);
+
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"id\": \"" << fx.id << "\", \"atoms\": " << lig.atom_count()
+         << ", \"torsions\": " << lig.torsion_count()
+         << ", \"nb_pairs\": " << lig.nonbonded_pairs().size()
+         << ",\n     \"evals_per_sec\": " << rates.plain
+         << ", \"grad_evals_per_sec\": " << rates.gradient
+         << ", \"pool_evals_per_sec\": " << pool_rate
+         << ",\n     \"dock_best_score\": " << res.best_score
+         << ", \"dock_evaluations\": " << res.evaluations << "}";
+  }
+  json << "\n  ]\n}\n";
+
+  std::cout << json.str();
+  if (argc > 1) {
+    std::ofstream f(argv[1]);
+    f << json.str();
+    std::cerr << "wrote " << argv[1] << "\n";
+  }
+  return 0;
+}

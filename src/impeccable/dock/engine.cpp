@@ -19,7 +19,8 @@ DockResult dock(const AffinityGrid& grid, const chem::Molecule& mol,
   // Spawn the per-run RNG streams serially first — base.spawn() order is the
   // determinism anchor — then execute the runs in any order. Each run gets
   // its own ScoringFunction because run_lga reports per-run evaluation counts
-  // as a delta of the scorer's counter.
+  // as a delta of the scorer's counter; run_lga owns the run's ScorerScratch
+  // arena, so steady-state scoring inside a run never allocates.
   common::Rng base(opts.seed ^ std::hash<std::string>{}(ligand_id));
   std::vector<common::Rng> run_rngs;
   run_rngs.reserve(runs.size());
@@ -128,10 +129,12 @@ DockResult dock_multi_structure(
 }
 
 std::uint64_t flops_per_evaluation(int atoms, int nb_pairs) {
-  // Per atom: one trilinear interpolation with gradient on two fields
-  // (~90 flops each) plus bookkeeping; per intramolecular pair: distance,
-  // powers and LJ combination (~40 flops). Coordinates build: rotation and
-  // torsion transforms, ~60 flops/atom.
+  // Per atom: one fused cell locate feeding trilinear interpolation with
+  // gradient on two fields (~90 flops each of arithmetic — fusing halves the
+  // index math, not the interpolation arithmetic itself) plus bookkeeping;
+  // per intramolecular pair: distance, powers and LJ combination from the
+  // precomputed table (~40 flops). Coordinates build: rotation and torsion
+  // transforms, ~60 flops/atom.
   return static_cast<std::uint64_t>(atoms) * (2 * 90 + 60) +
          static_cast<std::uint64_t>(nb_pairs) * 40;
 }

@@ -1,6 +1,7 @@
 #include "impeccable/dock/grid.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -29,7 +30,7 @@ Vec3 GridField::node(int ix, int iy, int iz) const {
   return origin_ + Vec3{ix * spacing_, iy * spacing_, iz * spacing_};
 }
 
-FieldSample GridField::sample(const Vec3& p) const {
+GridField::Cell GridField::locate(const Vec3& p) const {
   // Fractional grid coordinates.
   double gx = (p.x - origin_.x) / spacing_;
   double gy = (p.y - origin_.y) / spacing_;
@@ -37,38 +38,64 @@ FieldSample GridField::sample(const Vec3& p) const {
 
   // Clamp into the valid interpolation domain, accumulating a quadratic
   // wall penalty (with gradient) for the clamped distance.
-  FieldSample out;
+  Cell c;
   auto clamp_axis = [&](double& g, int n, double* grad_component) {
     const double max_g = static_cast<double>(n) - 1.0 - 1e-9;
     if (g < 0.0) {
       const double d = -g * spacing_;
-      out.value += kWallStiffness * d * d;
+      c.wall += kWallStiffness * d * d;
       *grad_component += -2.0 * kWallStiffness * d;  // pushes back inside (+axis)
       g = 0.0;
     } else if (g > max_g) {
       const double d = (g - max_g) * spacing_;
-      out.value += kWallStiffness * d * d;
+      c.wall += kWallStiffness * d * d;
       *grad_component += 2.0 * kWallStiffness * d;
       g = max_g;
     }
   };
-  clamp_axis(gx, nx_, &out.gradient.x);
-  clamp_axis(gy, ny_, &out.gradient.y);
-  clamp_axis(gz, nz_, &out.gradient.z);
+  clamp_axis(gx, nx_, &c.wall_gradient.x);
+  clamp_axis(gy, ny_, &c.wall_gradient.y);
+  clamp_axis(gz, nz_, &c.wall_gradient.z);
 
   const int ix = std::min(nx_ - 2, static_cast<int>(gx));
   const int iy = std::min(ny_ - 2, static_cast<int>(gy));
   const int iz = std::min(nz_ - 2, static_cast<int>(gz));
-  const double fx = gx - ix;
-  const double fy = gy - iy;
-  const double fz = gz - iz;
+  c.base = (static_cast<std::size_t>(iz) * ny_ + iy) * nx_ + ix;
+  c.fx = gx - ix;
+  c.fy = gy - iy;
+  c.fz = gz - iz;
+  return c;
+}
 
-  const double c000 = at(ix, iy, iz), c100 = at(ix + 1, iy, iz);
-  const double c010 = at(ix, iy + 1, iz), c110 = at(ix + 1, iy + 1, iz);
-  const double c001 = at(ix, iy, iz + 1), c101 = at(ix + 1, iy, iz + 1);
-  const double c011 = at(ix, iy + 1, iz + 1), c111 = at(ix + 1, iy + 1, iz + 1);
+double GridField::tri_value(const Cell& c) const {
+  const double* b = data_.data() + c.base;
+  const std::size_t sy = static_cast<std::size_t>(nx_);
+  const std::size_t sz = static_cast<std::size_t>(nx_) * ny_;
+  const double c000 = b[0], c100 = b[1];
+  const double c010 = b[sy], c110 = b[sy + 1];
+  const double c001 = b[sz], c101 = b[sz + 1];
+  const double c011 = b[sz + sy], c111 = b[sz + sy + 1];
 
-  // Trilinear value.
+  const double fx = c.fx, fy = c.fy, fz = c.fz;
+  const double c00 = c000 * (1 - fx) + c100 * fx;
+  const double c10 = c010 * (1 - fx) + c110 * fx;
+  const double c01 = c001 * (1 - fx) + c101 * fx;
+  const double c11 = c011 * (1 - fx) + c111 * fx;
+  const double c0 = c00 * (1 - fy) + c10 * fy;
+  const double c1 = c01 * (1 - fy) + c11 * fy;
+  return c0 * (1 - fz) + c1 * fz;
+}
+
+void GridField::tri_sample(const Cell& c, FieldSample& out) const {
+  const double* b = data_.data() + c.base;
+  const std::size_t sy = static_cast<std::size_t>(nx_);
+  const std::size_t sz = static_cast<std::size_t>(nx_) * ny_;
+  const double c000 = b[0], c100 = b[1];
+  const double c010 = b[sy], c110 = b[sy + 1];
+  const double c001 = b[sz], c101 = b[sz + 1];
+  const double c011 = b[sz + sy], c111 = b[sz + sy + 1];
+
+  const double fx = c.fx, fy = c.fy, fz = c.fz;
   const double c00 = c000 * (1 - fx) + c100 * fx;
   const double c10 = c010 * (1 - fx) + c110 * fx;
   const double c01 = c001 * (1 - fx) + c101 * fx;
@@ -86,7 +113,37 @@ FieldSample GridField::sample(const Vec3& p) const {
   out.gradient.x += dx / spacing_;
   out.gradient.y += dy / spacing_;
   out.gradient.z += dz / spacing_;
+}
+
+FieldSample GridField::sample(const Vec3& p) const {
+  const Cell c = locate(p);
+  FieldSample out;
+  out.value = c.wall;
+  out.gradient = c.wall_gradient;
+  tri_sample(c, out);
   return out;
+}
+
+void GridField::sample_pair(const Vec3& p, const GridField& other,
+                            FieldSample& self_out, FieldSample& other_out) const {
+  assert(other.nx_ == nx_ && other.ny_ == ny_ && other.nz_ == nz_ &&
+         other.spacing_ == spacing_);
+  const Cell c = locate(p);
+  self_out.value = c.wall;
+  self_out.gradient = c.wall_gradient;
+  tri_sample(c, self_out);
+  other_out.value = c.wall;
+  other_out.gradient = c.wall_gradient;
+  other.tri_sample(c, other_out);
+}
+
+void GridField::sample_pair_values(const Vec3& p, const GridField& other,
+                                   double& self_value, double& other_value) const {
+  assert(other.nx_ == nx_ && other.ny_ == ny_ && other.nz_ == nz_ &&
+         other.spacing_ == spacing_);
+  const Cell c = locate(p);
+  self_value = c.wall + tri_value(c);
+  other_value = c.wall + other.tri_value(c);
 }
 
 AffinityGrid::AffinityGrid(Vec3 origin, double spacing, int nx, int ny, int nz)

@@ -49,6 +49,19 @@ class GridField {
   /// Trilinearly interpolated value (and gradient) at a world-space point.
   FieldSample sample(const common::Vec3& p) const;
 
+  /// Fused two-field sampling. `other` must share this field's geometry
+  /// (origin, spacing, dimensions) — true for all maps of one AffinityGrid.
+  /// The cell index, trilinear weights, and clamp/wall penalty are computed
+  /// once and applied to both outputs, matching two independent sample()
+  /// calls bit for bit at half the index math and lattice-walk cost.
+  void sample_pair(const common::Vec3& p, const GridField& other,
+                   FieldSample& self_out, FieldSample& other_out) const;
+
+  /// Value-only fused sampling for energy-only scoring paths: identical
+  /// values to sample_pair (the value never depends on gradient math).
+  void sample_pair_values(const common::Vec3& p, const GridField& other,
+                          double& self_value, double& other_value) const;
+
   common::Vec3 origin() const { return origin_; }
   double spacing() const { return spacing_; }
   int nx() const { return nx_; }
@@ -61,6 +74,19 @@ class GridField {
   static constexpr double kWallStiffness = 50.0;
 
  private:
+  /// Resolved interpolation cell for a query point: lattice corner, weights,
+  /// and the accumulated out-of-box wall penalty (value + gradient).
+  struct Cell {
+    std::size_t base = 0;  ///< flat index of the (ix, iy, iz) corner
+    double fx = 0.0, fy = 0.0, fz = 0.0;
+    double wall = 0.0;
+    common::Vec3 wall_gradient;
+  };
+
+  Cell locate(const common::Vec3& p) const;
+  double tri_value(const Cell& c) const;
+  void tri_sample(const Cell& c, FieldSample& out) const;
+
   common::Vec3 origin_;
   double spacing_;
   int nx_, ny_, nz_;

@@ -205,6 +205,21 @@ Ligand::Ligand(const chem::Molecule& mol, std::uint64_t conformer_seed) {
       if (dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] > 3)
         nb_pairs_.emplace_back(i, j);
 
+  // Precompute the LJ pair parameters once; the scorer reads this table
+  // instead of re-deriving sqrt(well_i * well_j) per evaluation.
+  pair_table_.reserve(nb_pairs_.size());
+  for (const auto& [i, j] : nb_pairs_) {
+    NonbondedPair p;
+    p.i = i;
+    p.j = j;
+    p.rij = 0.9 * (atoms_[static_cast<std::size_t>(i)].vdw_radius +
+                   atoms_[static_cast<std::size_t>(j)].vdw_radius);
+    p.eps = std::sqrt(atoms_[static_cast<std::size_t>(i)].well_depth *
+                      atoms_[static_cast<std::size_t>(j)].well_depth);
+    p.eps12 = 12.0 * p.eps;
+    pair_table_.push_back(p);
+  }
+
   // Center the reference conformation on its centroid.
   Vec3 c;
   for (const auto& p : ref_coords_) c += p;
@@ -213,7 +228,13 @@ Ligand::Ligand(const chem::Molecule& mol, std::uint64_t conformer_seed) {
 }
 
 void Ligand::build_coords(const Pose& pose, std::vector<Vec3>& out) const {
-  out = ref_coords_;
+  out.resize(ref_coords_.size());  // no reallocation once capacity is grown
+  build_coords_into(pose, out.data());
+}
+
+void Ligand::build_coords_into(const Pose& pose, Vec3* out) const {
+  const std::size_t n = ref_coords_.size();
+  std::copy(ref_coords_.begin(), ref_coords_.end(), out);
 
   for (std::size_t t = 0; t < torsions_.size(); ++t) {
     const Torsion& tor = torsions_[t];
@@ -242,12 +263,12 @@ void Ligand::build_coords(const Pose& pose, std::vector<Vec3>& out) const {
   const double r21 = 2 * (y * z + w * x);
   const double r22 = w * w - x * x - y * y + z * z;
 
-  for (auto& p : out) {
-    const Vec3 v = p;
-    p = Vec3{r00 * v.x + r01 * v.y + r02 * v.z,
-             r10 * v.x + r11 * v.y + r12 * v.z,
-             r20 * v.x + r21 * v.y + r22 * v.z} +
-        pose.translation;
+  for (std::size_t a = 0; a < n; ++a) {
+    const Vec3 v = out[a];
+    out[a] = Vec3{r00 * v.x + r01 * v.y + r02 * v.z,
+                  r10 * v.x + r11 * v.y + r12 * v.z,
+                  r20 * v.x + r21 * v.y + r22 * v.z} +
+             pose.translation;
   }
 }
 

@@ -29,6 +29,16 @@ struct Torsion {
   std::vector<int> moving;  ///< atoms rotated by this torsion (distal side)
 };
 
+/// One intramolecular nonbonded pair with its LJ parameters precomputed at
+/// ligand-build time, so the scoring inner loop does no sqrt or radius
+/// arithmetic per evaluation.
+struct NonbondedPair {
+  std::int32_t i = 0, j = 0;
+  double rij = 0.0;    ///< optimal distance, 0.9 * (vdw_i + vdw_j)
+  double eps = 0.0;    ///< well depth, sqrt(well_i * well_j)
+  double eps12 = 0.0;  ///< 12 * eps, the gradient prefactor
+};
+
 /// Pose genotype: the LGA individual.
 struct Pose {
   common::Vec3 translation;  ///< of the ligand centroid
@@ -66,9 +76,18 @@ class Ligand {
     return nb_pairs_;
   }
 
+  /// The same pairs with LJ parameters (rij, eps, 12·eps) precomputed once
+  /// at construction — the scorer's inner-loop table.
+  const std::vector<NonbondedPair>& pair_table() const { return pair_table_; }
+
   /// Apply the pose: torsions in tree order, then rigid rotation about the
   /// reference-frame origin, then translation. Writes atom_count() coords.
   void build_coords(const Pose& pose, std::vector<common::Vec3>& out) const;
+
+  /// Allocation-free core of build_coords: writes atom_count() coordinates
+  /// into `out`, which must point at atom_count() writable slots (a scratch
+  /// arena in the scoring hot path).
+  void build_coords_into(const Pose& pose, common::Vec3* out) const;
 
   /// An identity pose centered at `center`.
   Pose identity_pose(const common::Vec3& center) const;
@@ -82,6 +101,7 @@ class Ligand {
   std::vector<Torsion> torsions_;
   std::vector<common::Vec3> ref_coords_;  ///< canonical conformation, centered
   std::vector<std::pair<int, int>> nb_pairs_;
+  std::vector<NonbondedPair> pair_table_;
 };
 
 /// Map a heavy atom of the molecule onto a probe type.

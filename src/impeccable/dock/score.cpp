@@ -8,61 +8,116 @@ namespace impeccable::dock {
 using common::Vec3;
 
 ScoringFunction::ScoringFunction(const AffinityGrid& grid, const Ligand& ligand)
-    : grid_(grid), ligand_(ligand) {}
+    : grid_(grid), ligand_(ligand) {
+  const auto& atoms = ligand.atoms();
+  atom_fields_.reserve(atoms.size());
+  charges_.reserve(atoms.size());
+  for (const LigandAtom& a : atoms) {
+    atom_fields_.push_back(&grid.map(a.probe));
+    charges_.push_back(a.charge);
+  }
+}
 
-double ScoringFunction::energy_and_forces(const std::vector<Vec3>& coords,
-                                          std::vector<Vec3>* grads) const {
+double ScoringFunction::energy_only(const Vec3* coords, std::size_t n) const {
   double energy = 0.0;
-  if (grads) grads->assign(coords.size(), Vec3{});
 
-  // Intermolecular: per-atom grid lookups.
-  const auto& atoms = ligand_.atoms();
-  for (std::size_t i = 0; i < coords.size(); ++i) {
-    const FieldSample aff = grid_.map(atoms[i].probe).sample(coords[i]);
-    const FieldSample ele = grid_.electrostatic.sample(coords[i]);
-    energy += aff.value + atoms[i].charge * ele.value;
-    if (grads)
-      (*grads)[i] += aff.gradient + ele.gradient * atoms[i].charge;
+  // Intermolecular: fused per-atom lookup of the probe map and the
+  // electrostatic map (one cell locate, two trilinear reads).
+  const GridField& ele = grid_.electrostatic;
+  for (std::size_t i = 0; i < n; ++i) {
+    double aff_v, ele_v;
+    atom_fields_[i]->sample_pair_values(coords[i], ele, aff_v, ele_v);
+    energy += aff_v + charges_[i] * ele_v;
   }
 
-  // Intramolecular: softened 12-6 between topologically distant pairs.
-  for (const auto& [i, j] : ligand_.nonbonded_pairs()) {
-    const Vec3 d = coords[static_cast<std::size_t>(j)] - coords[static_cast<std::size_t>(i)];
-    const double r = std::max(0.8, d.norm());
-    const double rij = 0.9 * (atoms[static_cast<std::size_t>(i)].vdw_radius +
-                              atoms[static_cast<std::size_t>(j)].vdw_radius);
-    const double eps = std::sqrt(atoms[static_cast<std::size_t>(i)].well_depth *
-                                 atoms[static_cast<std::size_t>(j)].well_depth);
-    const double rr = rij / r;
+  // Intramolecular: softened 12-6 over the precomputed pair table.
+  for (const NonbondedPair& p : ligand_.pair_table()) {
+    const Vec3 d = coords[static_cast<std::size_t>(p.j)] -
+                   coords[static_cast<std::size_t>(p.i)];
+    const double dist = d.norm();
+    const double r = std::max(0.8, dist);
+    const double rr = p.rij / r;
     const double rr6 = rr * rr * rr * rr * rr * rr;
-    const double u = eps * (rr6 * rr6 - 2.0 * rr6);
-    energy += std::min(u, 100.0);
-    if (grads && u < 100.0 && d.norm() > 0.8) {
+    const double u = p.eps * (rr6 * rr6 - 2.0 * rr6);
+    energy += u < 100.0 ? u : 100.0;
+  }
+  return energy;
+}
+
+double ScoringFunction::energy_and_forces(const Vec3* coords, std::size_t n,
+                                          Vec3* forces) const {
+  double energy = 0.0;
+
+  const GridField& ele = grid_.electrostatic;
+  for (std::size_t i = 0; i < n; ++i) {
+    FieldSample aff, es;
+    atom_fields_[i]->sample_pair(coords[i], ele, aff, es);
+    energy += aff.value + charges_[i] * es.value;
+    forces[i] += aff.gradient + es.gradient * charges_[i];
+  }
+
+  for (const NonbondedPair& p : ligand_.pair_table()) {
+    const std::size_t i = static_cast<std::size_t>(p.i);
+    const std::size_t j = static_cast<std::size_t>(p.j);
+    const Vec3 d = coords[j] - coords[i];
+    const double dist = d.norm();
+    const double r = std::max(0.8, dist);
+    const double rr = p.rij / r;
+    const double rr6 = rr * rr * rr * rr * rr * rr;
+    const double u = p.eps * (rr6 * rr6 - 2.0 * rr6);
+    // The energy is clamped at the r = 0.8 floor and the u = 100 cap; the
+    // gradient must vanish on exactly that clamped set or force and energy
+    // disagree at the boundary (finite-difference-tested at both edges).
+    const bool u_clamped = !(u < 100.0);
+    const bool r_clamped = !(dist > 0.8);
+    energy += u_clamped ? 100.0 : u;
+    if (!u_clamped && !r_clamped) {
       // dU/dr = eps * (-12 rr12 + 12 rr6) / r
-      const double du_dr = eps * 12.0 * (rr6 - rr6 * rr6) / r;
+      const double du_dr = p.eps12 * (rr6 - rr6 * rr6) / r;
       const Vec3 dir = d / r;
-      (*grads)[static_cast<std::size_t>(j)] += dir * du_dr;
-      (*grads)[static_cast<std::size_t>(i)] -= dir * du_dr;
+      forces[j] += dir * du_dr;
+      forces[i] -= dir * du_dr;
     }
   }
   return energy;
 }
 
+double ScoringFunction::score_coords(const std::vector<Vec3>& coords,
+                                     std::vector<Vec3>* forces) const {
+  if (!forces) return energy_only(coords.data(), coords.size());
+  forces->assign(coords.size(), Vec3{});
+  return energy_and_forces(coords.data(), coords.size(), forces->data());
+}
+
 double ScoringFunction::evaluate(const Pose& pose, std::vector<Vec3>* coords) const {
+  return evaluate(pose, scratch_, coords);
+}
+
+double ScoringFunction::evaluate(const Pose& pose, ScorerScratch& scratch,
+                                 std::vector<Vec3>* coords) const {
   evals_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<Vec3> local;
-  std::vector<Vec3>& c = coords ? *coords : local;
-  ligand_.build_coords(pose, c);
-  return energy_and_forces(c, nullptr);
+  std::vector<Vec3>& c = coords ? *coords : scratch.coords;
+  c.resize(ligand_.atoms().size());
+  ligand_.build_coords_into(pose, c.data());
+  return energy_only(c.data(), c.size());
 }
 
 double ScoringFunction::evaluate_with_gradient(const Pose& pose,
                                                PoseGradient& grad) const {
+  return evaluate_with_gradient(pose, scratch_, grad);
+}
+
+double ScoringFunction::evaluate_with_gradient(const Pose& pose,
+                                               ScorerScratch& scratch,
+                                               PoseGradient& grad) const {
   evals_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<Vec3> coords;
-  ligand_.build_coords(pose, coords);
-  std::vector<Vec3> g;
-  const double energy = energy_and_forces(coords, &g);
+  const std::size_t n = ligand_.atoms().size();
+  std::vector<Vec3>& coords = scratch.coords;
+  coords.resize(n);
+  ligand_.build_coords_into(pose, coords.data());
+  std::vector<Vec3>& g = scratch.forces;
+  g.assign(n, Vec3{});
+  const double energy = energy_and_forces(coords.data(), n, g.data());
 
   grad.translation = Vec3{};
   grad.torque = Vec3{};
@@ -71,7 +126,7 @@ double ScoringFunction::evaluate_with_gradient(const Pose& pose,
   // Pose::rotate_by composes a world-frame rotation in front of the pose
   // quaternion, which pivots the rigid body about its translation point; the
   // torque must therefore be taken about pose.translation.
-  for (std::size_t i = 0; i < coords.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     grad.translation += g[i];
     grad.torque += (coords[i] - pose.translation).cross(g[i]);
   }

@@ -3,6 +3,12 @@
 // with analytic gradients in pose space for the ADADELTA local search
 // (Sec. 5.1.1: "a new local-search method based on gradients of the scoring
 // function").
+//
+// The evaluation kernel is allocation-free in steady state: coordinates,
+// per-atom forces and torsion accumulators live in a ScorerScratch arena
+// (owned per search-run, or the scorer's own fallback arena), grid lookups
+// are fused across the probe-affinity and electrostatic maps, and the LJ
+// pair parameters come from the ligand's precomputed table.
 
 #include <atomic>
 #include <cstdint>
@@ -13,9 +19,18 @@
 
 namespace impeccable::dock {
 
+/// Reusable scratch arena for the scoring hot loop. One per search-run (LGA
+/// run, local-search invocation); sized lazily on first use, then steady-state
+/// evaluations perform no heap allocation.
+struct ScorerScratch {
+  std::vector<common::Vec3> coords;  ///< built atom coordinates
+  std::vector<common::Vec3> forces;  ///< per-atom Cartesian energy gradients
+};
+
 /// Scores poses of one ligand against one receptor grid.
-/// Thread-compatible: one instance per worker; the evaluation counter is the
-/// per-instance work-unit count used for flop accounting (Sec. 7.2).
+/// Thread-compatible: one instance per worker — the evaluation counter is the
+/// per-instance work-unit count used for flop accounting (Sec. 7.2), and the
+/// fallback scratch arena is per-instance mutable state.
 class ScoringFunction {
  public:
   ScoringFunction(const AffinityGrid& grid, const Ligand& ligand);
@@ -25,11 +40,26 @@ class ScoringFunction {
   /// need them).
   double evaluate(const Pose& pose, std::vector<common::Vec3>* coords = nullptr) const;
 
+  /// Same, but building coordinates in an explicit caller-owned arena.
+  double evaluate(const Pose& pose, ScorerScratch& scratch,
+                  std::vector<common::Vec3>* coords = nullptr) const;
+
   /// Energy and its gradient with respect to pose degrees of freedom.
   /// Torque is the derivative with respect to an infinitesimal world-frame
   /// rotation about the ligand centroid; torsion entries follow the pose's
   /// torsion order.
   double evaluate_with_gradient(const Pose& pose, PoseGradient& grad) const;
+
+  /// Same, but with coordinates and forces in an explicit caller-owned arena.
+  double evaluate_with_gradient(const Pose& pose, ScorerScratch& scratch,
+                                PoseGradient& grad) const;
+
+  /// Energy (and per-atom Cartesian forces, if requested) at explicit atom
+  /// coordinates — the pose-independent inner kernel, exposed for analysis
+  /// and boundary tests. `coords` must hold atom_count() entries; a non-null
+  /// `forces` is resized to match.
+  double score_coords(const std::vector<common::Vec3>& coords,
+                      std::vector<common::Vec3>* forces = nullptr) const;
 
   /// Number of evaluate* calls since construction (work units).
   std::uint64_t evaluations() const { return evals_; }
@@ -38,12 +68,20 @@ class ScoringFunction {
   const AffinityGrid& grid() const { return grid_; }
 
  private:
-  /// Per-atom energies and forces at explicit coordinates.
-  double energy_and_forces(const std::vector<common::Vec3>& coords,
-                           std::vector<common::Vec3>* forces) const;
+  /// Energy-only kernel (no gradient math) at explicit coordinates.
+  double energy_only(const common::Vec3* coords, std::size_t n) const;
+
+  /// Energy + per-atom forces at explicit coordinates. `forces` must hold
+  /// `n` zero-initialized entries.
+  double energy_and_forces(const common::Vec3* coords, std::size_t n,
+                           common::Vec3* forces) const;
 
   const AffinityGrid& grid_;
   const Ligand& ligand_;
+  /// Per-atom probe map, resolved once at construction (atoms -> fields).
+  std::vector<const GridField*> atom_fields_;
+  std::vector<double> charges_;  ///< flat per-atom charges (SoA hot data)
+  mutable ScorerScratch scratch_;  ///< fallback arena for the plain signatures
   mutable std::atomic<std::uint64_t> evals_{0};
 };
 

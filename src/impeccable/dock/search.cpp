@@ -17,20 +17,24 @@ double wrap_angle(double a) {
   return a;
 }
 
-/// Apply a Solis–Wets deviation (bias + random) to a pose.
-Pose perturb(const Pose& base, const std::vector<double>& dev) {
-  Pose p = base;
+/// Apply a Solis–Wets deviation (bias + random) to a pose, writing into a
+/// reusable candidate (the torsion vector's capacity is reused — no
+/// allocation in the search loop).
+void perturb_into(const Pose& base, const std::vector<double>& dev, Pose& p) {
+  p = base;
   p.translation += Vec3{dev[0], dev[1], dev[2]};
   p.rotate_by(Vec3{dev[3], dev[4], dev[5]});
   for (std::size_t t = 0; t < p.torsions.size(); ++t)
     p.torsions[t] = wrap_angle(p.torsions[t] + dev[6 + t]);
-  return p;
 }
 
 }  // namespace
 
 LocalSearchResult solis_wets(const ScoringFunction& score, const Pose& start,
-                             Rng& rng, const SolisWetsOptions& opts) {
+                             Rng& rng, const SolisWetsOptions& opts,
+                             ScorerScratch* scratch) {
+  ScorerScratch local;
+  ScorerScratch& arena = scratch ? *scratch : local;
   const std::size_t n = 6 + start.torsions.size();
   std::vector<double> bias(n, 0.0);
   double step = opts.initial_step;
@@ -38,20 +42,21 @@ LocalSearchResult solis_wets(const ScoringFunction& score, const Pose& start,
 
   LocalSearchResult out;
   out.pose = start;
-  out.energy = score.evaluate(start);
+  out.energy = score.evaluate(start, arena);
 
   // Per-gene scale: translations in Å, rotation/torsions in radians (roughly
   // half the translational scale works well for drug-sized ligands).
   auto gene_scale = [&](std::size_t g) { return g < 3 ? 1.0 : 0.5; };
 
+  std::vector<double> dev(n);
+  Pose cand = start;
   for (int it = 0; it < opts.max_iterations; ++it) {
     if (step < opts.min_step) break;
-    std::vector<double> dev(n);
     for (std::size_t g = 0; g < n; ++g)
       dev[g] = bias[g] + rng.gauss(0.0, step * gene_scale(g));
 
-    Pose cand = perturb(out.pose, dev);
-    double e = score.evaluate(cand);
+    perturb_into(out.pose, dev, cand);
+    double e = score.evaluate(cand, arena);
     ++out.iterations;
     if (e < out.energy) {
       out.pose = cand;
@@ -62,8 +67,8 @@ LocalSearchResult solis_wets(const ScoringFunction& score, const Pose& start,
     } else {
       // Try the opposite direction before counting a failure.
       for (auto& d : dev) d = -d;
-      cand = perturb(out.pose, dev);
-      e = score.evaluate(cand);
+      perturb_into(out.pose, dev, cand);
+      e = score.evaluate(cand, arena);
       ++out.iterations;
       if (e < out.energy) {
         out.pose = cand;
@@ -89,7 +94,9 @@ LocalSearchResult solis_wets(const ScoringFunction& score, const Pose& start,
 }
 
 LocalSearchResult adadelta(const ScoringFunction& score, const Pose& start,
-                           const AdadeltaOptions& opts) {
+                           const AdadeltaOptions& opts, ScorerScratch* scratch) {
+  ScorerScratch local;
+  ScorerScratch& arena = scratch ? *scratch : local;
   const std::size_t n = 6 + start.torsions.size();
   std::vector<double> eg2(n, 0.0);  // EMA of squared gradients
   std::vector<double> ex2(n, 0.0);  // EMA of squared updates
@@ -97,14 +104,14 @@ LocalSearchResult adadelta(const ScoringFunction& score, const Pose& start,
   LocalSearchResult out;
   out.pose = start;
   PoseGradient grad;
-  out.energy = score.evaluate_with_gradient(out.pose, grad);
+  out.energy = score.evaluate_with_gradient(out.pose, arena, grad);
 
   Pose cur = out.pose;
   double cur_energy = out.energy;
 
+  std::vector<double> g(n), dx(n);
   for (int it = 0; it < opts.max_iterations; ++it) {
     // Flatten the gradient into gene space with per-block scales.
-    std::vector<double> g(n);
     g[0] = grad.translation.x * opts.trans_scale;
     g[1] = grad.translation.y * opts.trans_scale;
     g[2] = grad.translation.z * opts.trans_scale;
@@ -114,7 +121,6 @@ LocalSearchResult adadelta(const ScoringFunction& score, const Pose& start,
     for (std::size_t t = 0; t < cur.torsions.size(); ++t)
       g[6 + t] = grad.torsions[t] * opts.torsion_scale;
 
-    std::vector<double> dx(n);
     for (std::size_t k = 0; k < n; ++k) {
       eg2[k] = opts.rho * eg2[k] + (1 - opts.rho) * g[k] * g[k];
       dx[k] = -std::sqrt(ex2[k] + opts.epsilon) / std::sqrt(eg2[k] + opts.epsilon) * g[k];
@@ -126,7 +132,7 @@ LocalSearchResult adadelta(const ScoringFunction& score, const Pose& start,
     for (std::size_t t = 0; t < cur.torsions.size(); ++t)
       cur.torsions[t] = wrap_angle(cur.torsions[t] + dx[6 + t]);
 
-    cur_energy = score.evaluate_with_gradient(cur, grad);
+    cur_energy = score.evaluate_with_gradient(cur, arena, grad);
     ++out.iterations;
     if (cur_energy < out.energy) {
       out.energy = cur_energy;
@@ -169,6 +175,11 @@ LgaResult run_lga(const ScoringFunction& score, Rng& rng, const LgaOptions& opts
   const std::uint64_t evals_before = score.evaluations();
   const Vec3 center = score.grid().pocket_center;
 
+  // One scratch arena per search-run: every scoring call below builds
+  // coordinates (and forces) into it, so steady-state evaluation never
+  // touches the heap.
+  ScorerScratch scratch;
+
   struct Individual {
     Pose pose;
     double energy;
@@ -178,7 +189,7 @@ LgaResult run_lga(const ScoringFunction& score, Rng& rng, const LgaOptions& opts
   for (int i = 0; i < opts.population; ++i) {
     Individual ind;
     ind.pose = score.ligand().random_pose(center, opts.init_radius, rng);
-    ind.energy = score.evaluate(ind.pose);
+    ind.energy = score.evaluate(ind.pose, scratch);
     pop.push_back(std::move(ind));
   }
 
@@ -216,12 +227,12 @@ LgaResult run_lga(const ScoringFunction& score, Rng& rng, const LgaOptions& opts
         // Lamarckian step: the improved genotype is inherited.
         LocalSearchResult ls =
             opts.local_search == LocalSearchMethod::SolisWets
-                ? solis_wets(score, child.pose, rng, opts.sw)
-                : adadelta(score, child.pose, opts.ad);
+                ? solis_wets(score, child.pose, rng, opts.sw, &scratch)
+                : adadelta(score, child.pose, opts.ad, &scratch);
         child.pose = ls.pose;
         child.energy = ls.energy;
       } else {
-        child.energy = score.evaluate(child.pose);
+        child.energy = score.evaluate(child.pose, scratch);
       }
       next.push_back(std::move(child));
     }

@@ -29,9 +29,12 @@ struct SolisWetsOptions {
   double min_step = 1e-3;
 };
 
-/// Solis–Wets adaptive random walk from `start`.
+/// Solis–Wets adaptive random walk from `start`. A non-null `scratch` is the
+/// arena used for coordinate builds (pass the search-run's arena to keep the
+/// inner loop allocation-free); null falls back to the scorer's own arena.
 LocalSearchResult solis_wets(const ScoringFunction& score, const Pose& start,
-                             common::Rng& rng, const SolisWetsOptions& opts = {});
+                             common::Rng& rng, const SolisWetsOptions& opts = {},
+                             ScorerScratch* scratch = nullptr);
 
 struct AdadeltaOptions {
   int max_iterations = 60;
@@ -42,9 +45,11 @@ struct AdadeltaOptions {
   double torsion_scale = 0.5; ///< for torsion genes (radians)
 };
 
-/// ADADELTA gradient descent in pose space from `start`.
+/// ADADELTA gradient descent in pose space from `start`. `scratch` as in
+/// solis_wets.
 LocalSearchResult adadelta(const ScoringFunction& score, const Pose& start,
-                           const AdadeltaOptions& opts = {});
+                           const AdadeltaOptions& opts = {},
+                           ScorerScratch* scratch = nullptr);
 
 struct LgaOptions {
   int population = 50;

@@ -34,9 +34,14 @@ SurrogateModel::SurrogateModel(const SurrogateOptions& opts) : opts_(opts) {
   optimizer_ = std::make_unique<Adam>(net_.params(), opts.learning_rate);
 }
 
-Tensor SurrogateModel::to_tensor(const std::vector<chem::Image>& images,
-                                 std::size_t begin, std::size_t count) const {
-  Tensor x({static_cast<int>(count), opts_.channels, opts_.height, opts_.width});
+void SurrogateModel::to_tensor(const std::vector<chem::Image>& images,
+                               std::size_t begin, std::size_t count,
+                               Tensor& x) const {
+  if (x.rank() != 4 || x.dim(0) != static_cast<int>(count) ||
+      x.dim(1) != opts_.channels || x.dim(2) != opts_.height ||
+      x.dim(3) != opts_.width)
+    x = Tensor({static_cast<int>(count), opts_.channels, opts_.height,
+                opts_.width});
   for (std::size_t b = 0; b < count; ++b) {
     const chem::Image& im = images[begin + b];
     if (im.channels != opts_.channels || im.height != opts_.height ||
@@ -45,7 +50,6 @@ Tensor SurrogateModel::to_tensor(const std::vector<chem::Image>& images,
     std::copy(im.data.begin(), im.data.end(),
               x.data() + b * im.data.size());
   }
-  return x;
 }
 
 TrainReport SurrogateModel::train(const std::vector<chem::Image>& images,
@@ -76,13 +80,14 @@ TrainReport SurrogateModel::train(const std::vector<chem::Image>& images,
   }
 
   TrainReport report;
+  Tensor x;  // batch scratch, reused across batches and epochs
   for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
     EpochStats stats;
     std::size_t batches = 0;
     for (std::size_t at = 0; at < tr_im.size(); at += opts_.batch_size) {
       const std::size_t bs =
           std::min<std::size_t>(opts_.batch_size, tr_im.size() - at);
-      const Tensor x = to_tensor(tr_im, at, bs);
+      to_tensor(tr_im, at, bs, x);
       Tensor target({static_cast<int>(bs), 1});
       for (std::size_t i = 0; i < bs; ++i) target[i] = tr_y[at + i];
 
@@ -96,7 +101,7 @@ TrainReport SurrogateModel::train(const std::vector<chem::Image>& images,
     if (batches) stats.train_loss /= static_cast<float>(batches);
 
     if (!va_im.empty()) {
-      const Tensor x = to_tensor(va_im, 0, va_im.size());
+      to_tensor(va_im, 0, va_im.size(), x);
       Tensor target({static_cast<int>(va_im.size()), 1});
       for (std::size_t i = 0; i < va_im.size(); ++i) target[i] = va_y[i];
       stats.validation_loss = mse_loss(net_.forward(x), target).value;
@@ -115,10 +120,13 @@ std::vector<float> SurrogateModel::predict_batch(
     const std::vector<chem::Image>& images) {
   std::vector<float> out;
   out.reserve(images.size());
-  const std::size_t chunk = 64;
+  const std::size_t chunk =
+      static_cast<std::size_t>(std::max(1, opts_.predict_chunk));
+  Tensor x;  // one scratch across all full-sized chunks
   for (std::size_t at = 0; at < images.size(); at += chunk) {
     const std::size_t bs = std::min(chunk, images.size() - at);
-    const Tensor pred = net_.forward(to_tensor(images, at, bs));
+    to_tensor(images, at, bs, x);
+    const Tensor pred = net_.forward(x);
     for (std::size_t i = 0; i < bs; ++i) out.push_back(pred[i]);
   }
   return out;

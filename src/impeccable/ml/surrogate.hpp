@@ -22,6 +22,9 @@ struct SurrogateOptions {
   int base_filters = 8;
   int epochs = 6;
   int batch_size = 16;
+  /// Inference chunk size for predict_batch (outputs are invariant to it;
+  /// larger chunks amortize per-forward overhead at more scratch memory).
+  int predict_chunk = 64;
   float learning_rate = 1e-3f;
   float validation_fraction = 0.2f;
   std::uint64_t seed = 0x5002d09a7eULL;
@@ -67,8 +70,10 @@ class SurrogateModel {
   void load_weights(const std::string& path);
 
  private:
-  Tensor to_tensor(const std::vector<chem::Image>& images, std::size_t begin,
-                   std::size_t count) const;
+  /// Pack `count` images starting at `begin` into `x`, reusing its buffer
+  /// when the shape already matches (one scratch Tensor serves all chunks).
+  void to_tensor(const std::vector<chem::Image>& images, std::size_t begin,
+                 std::size_t count, Tensor& x) const;
 
   SurrogateOptions opts_;
   Sequential net_;

@@ -359,6 +359,30 @@ TEST(Surrogate, FlopModelPositiveAndMonotone) {
             ml::SurrogateModel(small).flops_per_image());
 }
 
+TEST(Surrogate, PredictBatchInvariantToChunkSize) {
+  // predict_batch must return identical scores whatever the inference chunk
+  // size (the batched forward is per-sample independent).
+  const char* smiles[] = {"c1ccccc1", "CCCCCC", "Oc1ccccc1", "CCNCC",
+                          "Cc1ccccc1", "CCCCO", "c1ccncc1", "CC(C)CC",
+                          "CCOCC", "Nc1ccccc1"};
+  std::vector<chem::Image> images;
+  for (const char* s : smiles)
+    images.push_back(chem::depict(chem::parse_smiles(s)));
+
+  std::vector<std::vector<float>> results;
+  for (int chunk : {1, 3, 7, 10, 64}) {
+    ml::SurrogateOptions opts;
+    opts.seed = 77;
+    opts.predict_chunk = chunk;
+    ml::SurrogateModel model(opts);  // same seed -> same weights
+    results.push_back(model.predict_batch(images));
+    ASSERT_EQ(results.back().size(), images.size()) << "chunk=" << chunk;
+  }
+  for (std::size_t r = 1; r < results.size(); ++r)
+    for (std::size_t i = 0; i < images.size(); ++i)
+      EXPECT_EQ(results[r][i], results[0][i]) << "result set " << r << " image " << i;
+}
+
 // ---------------------------------------------------------------- RES
 
 TEST(Res, PerfectPredictorHasFullCoverage) {
