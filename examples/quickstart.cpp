@@ -3,7 +3,9 @@
 // Synthesizes a receptor ("target"), compiles its affinity grid, docks one
 // ligand with the Lamarckian GA, transplants the best pose into the
 // coarse-grained MD protein, and estimates the binding free energy with a
-// small ESMACS ensemble.
+// small ESMACS ensemble. The whole run is traced through obs::Recorder and
+// exported as quickstart_trace.json — drop it on https://ui.perfetto.dev
+// (or chrome://tracing) to see the dock/fe/pool spans on a timeline.
 //
 //   $ ./examples/quickstart
 
@@ -12,18 +14,29 @@
 
 #include "impeccable/chem/descriptors.hpp"
 #include "impeccable/chem/smiles.hpp"
+#include "impeccable/common/thread_pool.hpp"
 #include "impeccable/dock/engine.hpp"
 #include "impeccable/dock/receptor.hpp"
 #include "impeccable/fe/esmacs.hpp"
 #include "impeccable/md/io.hpp"
 #include "impeccable/md/system.hpp"
+#include "impeccable/obs/recorder.hpp"
+#include "impeccable/obs/trace_export.hpp"
 
 namespace chem = impeccable::chem;
+namespace common = impeccable::common;
 namespace dock = impeccable::dock;
 namespace md = impeccable::md;
 namespace fe = impeccable::fe;
+namespace obs = impeccable::obs;
 
 int main() {
+  // 0. Observability: one recorder for the whole run. Every instrumented
+  // layer below records spans into it; without this install each span is a
+  // single untaken branch.
+  obs::Recorder recorder;
+  obs::ScopedRecorder scoped(&recorder);
+  common::ThreadPool pool;
   // 1. A target: procedural receptor + precompiled affinity maps.
   const auto receptor = dock::Receptor::synthesize("demo-target", /*seed=*/42);
   const auto grid = dock::compute_grid(receptor);
@@ -40,6 +53,7 @@ int main() {
   // 3. Dock: 4 independent LGA runs, pose clustering, best score.
   dock::DockOptions dopts;
   dopts.runs = 4;
+  dopts.pool = &pool;
   const auto result = dock::dock(*grid, mol, "ibuprofen", dopts);
   std::printf("docking: best score %.2f kcal/mol, %zu pose clusters, %llu "
               "evaluations\n",
@@ -59,7 +73,7 @@ int main() {
   fe::EsmacsConfig cfg = fe::cg_config(0.5);
   cfg.keep_trajectories = true;
   const auto esmacs =
-      fe::run_esmacs(lpc, desc.rotatable_bonds, cfg, /*seed=*/7);
+      fe::run_esmacs(lpc, desc.rotatable_bonds, cfg, /*seed=*/7, &pool);
   std::printf("CG-ESMACS (%d replicas): dG = %.2f +- %.2f kcal/mol "
               "(95%% CI [%.2f, %.2f]; within-replica %.2f)\n",
               cfg.replicas, esmacs.binding_free_energy, esmacs.std_error,
@@ -72,5 +86,11 @@ int main() {
   md::write_pdb(lpc, lpc.positions, pdb);
   md::write_xyz(esmacs.trajectories.front(), xyz);
   std::printf("wrote %s and %s\n", pdb.c_str(), xyz.c_str());
+
+  // 6. The trace: every span of the run as Chrome trace_event JSON.
+  const auto trace_path = (dir / "quickstart_trace.json").string();
+  obs::write_chrome_trace(recorder.take(), trace_path);
+  std::printf("wrote %s (open in https://ui.perfetto.dev)\n",
+              trace_path.c_str());
   return 0;
 }

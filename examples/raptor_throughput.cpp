@@ -5,6 +5,7 @@
 //   $ ./examples/raptor_throughput
 
 #include <cstdio>
+#include <iostream>
 
 #include "impeccable/rct/raptor.hpp"
 
@@ -20,6 +21,7 @@ int main() {
   std::printf("%-9s %-10s %-14s %-18s %-12s %-10s\n", "masters", "bulk",
               "makespan(s)", "docks/hour", "utilization", "imbalance");
 
+  rct::RaptorStats best{};
   for (int masters : {1, 4, 16}) {
     for (int bulk : {16, 128}) {
       rct::RaptorOptions opts;
@@ -30,9 +32,12 @@ int main() {
       std::printf("%-9d %-10d %-14.1f %-18.3e %-12.3f %-10.3f\n", masters,
                   bulk, stats.makespan, stats.throughput_per_hour,
                   stats.worker_utilization, stats.load_imbalance);
+      if (stats.throughput_per_hour > best.throughput_per_hour) best = stats;
     }
   }
-  std::printf("\nNote: one master saturates on dispatch service time; "
+  std::printf("\nbest configuration (JSON):\n");
+  best.to_json(std::cout);
+  std::printf("\n\nNote: one master saturates on dispatch service time; "
               "sharding workers over several masters restores near-linear "
               "throughput (Sec. 6.1.2 of the paper).\n");
   return 0;

@@ -6,6 +6,7 @@
 //   $ ./examples/virtual_screening_campaign
 
 #include <cstdio>
+#include <iostream>
 
 #include "impeccable/core/campaign.hpp"
 
@@ -38,15 +39,15 @@ int main() {
   core::Campaign campaign(std::move(target), cfg);
   const auto report = campaign.run();
 
-  std::printf("%-5s %-10s %-8s %-8s %-8s %-12s %-14s %-10s\n", "iter",
-              "screened", "docked", "CG", "FG", "dock/s", "effective/s",
-              "spearman");
+  // One JSON object per iteration (the obs::json path every tool consumes).
   for (const auto& it : report.iterations) {
-    std::printf("%-5d %-10zu %-8zu %-8zu %-8zu %-12.2f %-14.2f %-10.3f\n",
-                it.iteration, it.library_screened, it.docked, it.cg_runs,
-                it.fg_runs, it.dock_throughput,
-                it.effective_ligands_per_second, it.surrogate_spearman);
+    it.to_json(std::cout);
+    std::printf("\n");
   }
+
+  std::printf("\nexecution profile (JSON summary):\n");
+  report.profile.to_json(std::cout);
+  std::printf("\n");
 
   std::printf("\ntop CG binders:\n");
   const auto ranking = report.cg_ranking();

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "impeccable/obs/metrics.hpp"
+#include "impeccable/obs/recorder.hpp"
+
 namespace impeccable::common {
 
 namespace {
@@ -75,7 +78,9 @@ void ThreadPool::finish_one() {
   }
 }
 
-bool ThreadPool::take_any(std::size_t id, std::function<void()>& out) {
+bool ThreadPool::take_any(std::size_t id, std::function<void()>& out,
+                          bool* stole) {
+  *stole = false;
   // 1. Own deque, back first (LIFO — most recently pushed, cache-hot).
   {
     Worker& self = *queues_[id];
@@ -103,6 +108,7 @@ bool ThreadPool::take_any(std::size_t id, std::function<void()>& out) {
     if (!victim.jobs.empty()) {
       out = std::move(victim.jobs.front());
       victim.jobs.pop_front();
+      *stole = true;
       return true;
     }
   }
@@ -123,10 +129,19 @@ bool ThreadPool::has_work() {
 
 void ThreadPool::worker_loop(std::size_t id) {
   tls_slot = {this, id};
+  Worker& self = *queues_[id];
   for (;;) {
     std::function<void()> job;
-    if (take_any(id, job)) {
-      job();
+    bool stole = false;
+    if (take_any(id, job, &stole)) {
+      self.executed.fetch_add(1, std::memory_order_relaxed);
+      if (stole) self.stolen.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Recorder* rec = obs::global()) {
+        obs::Span span(obs::cat::kPool, stole ? "job-stolen" : "job", rec);
+        job();
+      } else {
+        job();
+      }
       job = nullptr;  // release captures before finish_one wakes wait_idle
       finish_one();
       continue;
@@ -143,6 +158,7 @@ void ThreadPool::worker_loop(std::size_t id) {
       sleepers_.fetch_sub(1);
       return;  // stopping and fully drained
     }
+    self.parked.fetch_add(1, std::memory_order_relaxed);
     sleep_cv_.wait(lk);
     sleepers_.fetch_sub(1);
   }
@@ -151,6 +167,31 @@ void ThreadPool::worker_loop(std::size_t id) {
 void ThreadPool::wait_idle() {
   std::unique_lock lk(idle_mu_);
   idle_cv_.wait(lk, [this] { return unfinished_.load() == 0; });
+}
+
+std::vector<ThreadPool::WorkerCounters> ThreadPool::worker_counters() const {
+  std::vector<WorkerCounters> out;
+  out.reserve(queues_.size());
+  for (const auto& q : queues_)
+    out.push_back({q->executed.load(std::memory_order_relaxed),
+                   q->stolen.load(std::memory_order_relaxed),
+                   q->parked.load(std::memory_order_relaxed)});
+  return out;
+}
+
+void ThreadPool::publish_metrics(obs::MetricsRegistry& metrics,
+                                 std::string_view prefix) const {
+  WorkerCounters total;
+  for (const auto& w : worker_counters()) {
+    total.executed += w.executed;
+    total.stolen += w.stolen;
+    total.parked += w.parked;
+  }
+  const std::string p(prefix);
+  metrics.gauge(p + ".executed").set(static_cast<double>(total.executed));
+  metrics.gauge(p + ".stolen").set(static_cast<double>(total.stolen));
+  metrics.gauge(p + ".parked").set(static_cast<double>(total.parked));
+  metrics.gauge(p + ".workers").set(static_cast<double>(size()));
 }
 
 std::size_t ThreadPool::default_grain(std::size_t n) const {

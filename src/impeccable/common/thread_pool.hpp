@@ -28,13 +28,19 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
+
+namespace impeccable::obs {
+class MetricsRegistry;
+}  // namespace impeccable::obs
 
 namespace impeccable::common {
 
@@ -99,6 +105,22 @@ class ThreadPool {
   /// Block until every queued and running job has finished.
   void wait_idle();
 
+  /// Per-worker observability counters (owner-thread writes, relaxed reads):
+  /// jobs executed, jobs taken from a victim's deque, and condvar parks.
+  struct WorkerCounters {
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+    std::uint64_t parked = 0;
+  };
+  std::vector<WorkerCounters> worker_counters() const;
+
+  /// Publish aggregate worker counters into an obs metrics registry as
+  /// gauges `<prefix>.executed/.stolen/.parked/.workers` (gauges, not
+  /// registry counters, so repeated publishes overwrite instead of
+  /// double-counting).
+  void publish_metrics(obs::MetricsRegistry& metrics,
+                       std::string_view prefix = "pool") const;
+
   /// Stop accepting new jobs, drain what is queued, and join the workers.
   /// Idempotent; the destructor calls it. submit() afterwards throws.
   void shutdown();
@@ -136,6 +158,9 @@ class ThreadPool {
   struct Worker {
     std::mutex mu;
     std::deque<std::function<void()>> jobs;
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> parked{0};
   };
 
   void enqueue(std::function<void()> job);
@@ -143,7 +168,7 @@ class ThreadPool {
   void wake_one();
   void finish_one();
   void worker_loop(std::size_t id);
-  bool take_any(std::size_t id, std::function<void()>& out);
+  bool take_any(std::size_t id, std::function<void()>& out, bool* stole);
   bool has_work();
   std::size_t default_grain(std::size_t n) const;
 

@@ -16,6 +16,8 @@
 #include "impeccable/ml/gemm.hpp"
 #include "impeccable/ml/lof.hpp"
 #include "impeccable/ml/res.hpp"
+#include "impeccable/obs/json.hpp"
+#include "impeccable/obs/recorder.hpp"
 #include "impeccable/rct/backend.hpp"
 
 namespace impeccable::core {
@@ -130,7 +132,10 @@ CampaignReport Campaign::run() {
   }
 
   rct::LocalBackend local(config_.threads);
-  rct::ProfiledBackend backend(local);
+  rct::ProfiledBackend backend(local, config_.recorder);
+  // Every instrumented layer below (dock, ml, fe, pool) records through the
+  // global recorder; restored on scope exit.
+  obs::ScopedRecorder scoped(&backend.trace_recorder());
   rct::AppManager manager(backend);
   // The ML1 surrogate picks the pool up through the process-wide compute
   // pool (restored on exit so nothing dangles past `local`'s lifetime).
@@ -143,6 +148,7 @@ CampaignReport Campaign::run() {
 
   for (int iter = 0; iter < config_.iterations; ++iter) {
     const auto t_iter0 = std::chrono::steady_clock::now();
+    obs::Span iter_span(obs::cat::kStage, "iteration-" + std::to_string(iter));
     auto state = std::make_shared<IterationState>();
     IterationMetrics metrics;
     metrics.iteration = iter;
@@ -494,10 +500,33 @@ CampaignReport Campaign::run() {
       metrics.best_cg_energy = best_cg;
       metrics.best_fg_energy = best_fg;
     }
+    if (iter_span.active()) {
+      iter_span.arg("docked", static_cast<double>(metrics.docked));
+      iter_span.arg("cg_runs", static_cast<double>(metrics.cg_runs));
+      iter_span.arg("fg_runs", static_cast<double>(metrics.fg_runs));
+    }
     report.iterations.push_back(metrics);
   }
+  local.pool().publish_metrics(backend.trace_recorder().metrics());
   report.profile = backend.profile();
   return report;
+}
+
+void IterationMetrics::to_json(std::ostream& os) const {
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.kv("iteration", iteration);
+  w.kv("library_screened", static_cast<std::uint64_t>(library_screened));
+  w.kv("docked", static_cast<std::uint64_t>(docked));
+  w.kv("cg_runs", static_cast<std::uint64_t>(cg_runs));
+  w.kv("fg_runs", static_cast<std::uint64_t>(fg_runs));
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("dock_throughput", dock_throughput);
+  w.kv("effective_ligands_per_second", effective_ligands_per_second);
+  w.kv("surrogate_spearman", surrogate_spearman);
+  w.kv("best_cg_energy", best_cg_energy);
+  w.kv("best_fg_energy", best_fg_energy);
+  w.end_object();
 }
 
 std::vector<const CompoundRecord*> CampaignReport::cg_ranking() const {

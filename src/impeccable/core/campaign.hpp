@@ -13,6 +13,7 @@
 // on the previous stage's results (Sec. 6.1, Fig. 2).
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -96,6 +97,13 @@ struct CampaignConfig {
   std::size_t threads = 0;  ///< LocalBackend worker threads (0 = hardware)
   std::uint64_t seed = 0xca4'9a19ULL;
 
+  /// Observability: when set, the campaign installs this recorder globally
+  /// for the duration of run(), wires its clock to the backend's wall clock,
+  /// and every layer (stage, task, dock, ml, fe, pool) records spans and
+  /// metrics into it. Null = a private recorder that still feeds
+  /// CampaignReport::profile but is discarded afterwards.
+  obs::Recorder* recorder = nullptr;
+
   /// Resume from a checkpoint written by core::write_checkpoint: previously
   /// docked/estimated compounds are restored and re-seed the ML1 training
   /// set, so a resumed campaign does not redo finished work.
@@ -132,6 +140,9 @@ struct IterationMetrics {
   double surrogate_spearman = 0.0;
   double best_cg_energy = 0.0;
   double best_fg_energy = 0.0;
+
+  /// One JSON object (obs::json writer — deterministic doubles).
+  void to_json(std::ostream& os) const;
 };
 
 struct CampaignReport {

@@ -4,11 +4,13 @@
 #include <stdexcept>
 
 #include "impeccable/common/kabsch.hpp"
+#include "impeccable/obs/recorder.hpp"
 
 namespace impeccable::dock {
 
 DockResult dock(const AffinityGrid& grid, const chem::Molecule& mol,
                 const std::string& ligand_id, const DockOptions& opts) {
+  obs::Span span(obs::cat::kDock, ligand_id);
   const Ligand ligand(mol, opts.conformer_seed);
 
   struct RunOutput {
@@ -75,6 +77,17 @@ DockResult dock(const AffinityGrid& grid, const chem::Molecule& mol,
   out.best_score = best.best_energy;
   out.best_pose = best.best_pose;
   out.best_coords = best.best_coords;
+
+  if (span.active()) {
+    span.arg("evaluations", static_cast<double>(out.evaluations));
+    span.arg("best_score", out.best_score);
+    span.arg("clusters", static_cast<double>(out.clusters.size()));
+    obs::Recorder* rec = obs::global();
+    rec->metrics().counter("dock.ligands").add(1);
+    rec->metrics().counter("dock.evaluations").add(out.evaluations);
+    const double start = span.start_time();
+    rec->metrics().histogram("dock.ligand_seconds").observe(rec->now() - start);
+  }
   return out;
 }
 

@@ -1,9 +1,11 @@
 #include "impeccable/fe/esmacs.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "impeccable/common/rng.hpp"
 #include "impeccable/common/thread_pool.hpp"
+#include "impeccable/obs/recorder.hpp"
 
 namespace impeccable::fe {
 
@@ -70,7 +72,8 @@ EsmacsResult summarize(std::vector<ReplicaOutcome> outcomes, bool keep,
 std::vector<ReplicaOutcome> run_batch(const md::System& lpc, int rotatable_bonds,
                                       const EsmacsConfig& config,
                                       std::uint64_t seed, int first_replica,
-                                      int count, common::ThreadPool* pool) {
+                                      int count, common::ThreadPool* pool,
+                                      obs::SpanId parent) {
   std::vector<ReplicaOutcome> outcomes(static_cast<std::size_t>(count));
   auto replica_seed = [&](int r) {
     std::uint64_t s = seed;
@@ -78,8 +81,13 @@ std::vector<ReplicaOutcome> run_batch(const md::System& lpc, int rotatable_bonds
     return s ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(r + 1));
   };
   auto run_replica_slot = [&](std::size_t r) {
-    outcomes[r] = run_one(lpc, rotatable_bonds, config,
-                          replica_seed(first_replica + static_cast<int>(r)));
+    const int replica = first_replica + static_cast<int>(r);
+    // Replicas may execute on pool threads: parent explicitly to the
+    // enclosing esmacs span instead of the worker's local stack.
+    obs::Span span(obs::cat::kFe, "replica-" + std::to_string(replica),
+                   obs::global(), parent);
+    outcomes[r] = run_one(lpc, rotatable_bonds, config, replica_seed(replica));
+    if (span.active()) span.arg("mean_dg", outcomes[r].mean_dg);
   };
   if (pool) {
     common::parallel_for(*pool, 0, outcomes.size(), run_replica_slot, 1);
@@ -94,17 +102,23 @@ std::vector<ReplicaOutcome> run_batch(const md::System& lpc, int rotatable_bonds
 EsmacsResult run_esmacs(const md::System& lpc, int rotatable_bonds,
                         const EsmacsConfig& config, std::uint64_t seed,
                         common::ThreadPool* pool) {
+  obs::Span span(obs::cat::kFe, "esmacs");
+  span.arg("replicas", static_cast<double>(config.replicas));
   auto outcomes = run_batch(lpc, rotatable_bonds, config, seed, 0,
-                            config.replicas, pool);
-  return summarize(std::move(outcomes), config.keep_trajectories, seed);
+                            config.replicas, pool, span.id());
+  EsmacsResult res =
+      summarize(std::move(outcomes), config.keep_trajectories, seed);
+  if (span.active()) span.arg("dg", res.binding_free_energy);
+  return res;
 }
 
 EsmacsResult run_esmacs_adaptive(const md::System& lpc, int rotatable_bonds,
                                  const EsmacsConfig& base,
                                  const AdaptiveOptions& adapt,
                                  std::uint64_t seed, common::ThreadPool* pool) {
+  obs::Span span(obs::cat::kFe, "esmacs-adaptive");
   std::vector<ReplicaOutcome> outcomes = run_batch(
-      lpc, rotatable_bonds, base, seed, 0, adapt.min_replicas, pool);
+      lpc, rotatable_bonds, base, seed, 0, adapt.min_replicas, pool, span.id());
 
   auto sem_of = [&]() {
     std::vector<double> means;
@@ -117,10 +131,13 @@ EsmacsResult run_esmacs_adaptive(const md::System& lpc, int rotatable_bonds,
          (outcomes.size() < 2 || sem_of() > adapt.target_sem)) {
     const int count = std::min(adapt.batch,
                                adapt.max_replicas - static_cast<int>(outcomes.size()));
-    auto more = run_batch(lpc, rotatable_bonds, base, seed, next, count, pool);
+    auto more = run_batch(lpc, rotatable_bonds, base, seed, next, count, pool,
+                          span.id());
     next += count;
     for (auto& o : more) outcomes.push_back(std::move(o));
   }
+  if (span.active())
+    span.arg("replicas", static_cast<double>(outcomes.size()));
   return summarize(std::move(outcomes), base.keep_trajectories, seed);
 }
 

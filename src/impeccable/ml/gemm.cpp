@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "impeccable/obs/recorder.hpp"
+
 namespace impeccable::ml {
 
 namespace {
@@ -86,6 +88,13 @@ void gemm(Trans ta, Trans tb, int M, int N, int K, float alpha, const float* A,
   if (M < 0 || N < 0 || K < 0)
     throw std::invalid_argument("gemm: negative dimension");
   if (M == 0 || N == 0) return;
+
+  if (obs::Recorder* rec = obs::global()) {
+    rec->metrics().counter("ml.gemm.calls").add(1);
+    rec->metrics().counter("ml.gemm.flops")
+        .add(2ull * static_cast<std::uint64_t>(M) *
+             static_cast<std::uint64_t>(N) * static_cast<std::uint64_t>(K));
+  }
 
   // Normalize to the NN case by packing transposed operands once.
   std::vector<float> a_pack, b_pack;

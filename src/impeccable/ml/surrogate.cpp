@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "impeccable/ml/loss.hpp"
+#include "impeccable/obs/recorder.hpp"
 
 namespace impeccable::ml {
 
@@ -56,6 +57,10 @@ TrainReport SurrogateModel::train(const std::vector<chem::Image>& images,
                                   const std::vector<float>& labels) {
   if (images.size() != labels.size() || images.empty())
     throw std::invalid_argument("SurrogateModel::train: bad dataset");
+
+  obs::Span span(obs::cat::kMl, "surrogate-train");
+  span.arg("images", static_cast<double>(images.size()));
+  span.arg("epochs", static_cast<double>(opts_.epochs));
 
   common::Rng rng(opts_.seed ^ 0x7121a);
   std::vector<std::size_t> order(images.size());
@@ -118,6 +123,8 @@ float SurrogateModel::predict(const chem::Image& image) {
 
 std::vector<float> SurrogateModel::predict_batch(
     const std::vector<chem::Image>& images) {
+  obs::Span span(obs::cat::kMl, "surrogate-predict");
+  span.arg("images", static_cast<double>(images.size()));
   std::vector<float> out;
   out.reserve(images.size());
   const std::size_t chunk =

@@ -1,0 +1,59 @@
+#include "impeccable/obs/csv.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace impeccable::obs {
+
+void CsvWriter::separate() {
+  if (!first_) os_.put(',');
+  first_ = false;
+}
+
+CsvWriter& CsvWriter::cell(std::string_view v) {
+  separate();
+  const bool needs_quotes =
+      v.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    os_ << v;
+    return *this;
+  }
+  os_.put('"');
+  for (char c : v) {
+    if (c == '"') os_.put('"');
+    os_.put(c);
+  }
+  os_.put('"');
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double v) {
+  separate();
+  if (!std::isfinite(v)) {
+    os_ << "nan";
+    return *this;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  os_.write(buf, res.ptr - buf);
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  os_.put('\n');
+  first_ = true;
+}
+
+}  // namespace impeccable::obs

@@ -1,0 +1,121 @@
+#include "impeccable/obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace impeccable::obs::json {
+
+void write_string(std::ostream& os, std::string_view s) {
+  os.put('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os.put(c);
+        }
+    }
+  }
+  os.put('"');
+}
+
+void write_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  os.write(buf, res.ptr - buf);
+}
+
+void Writer::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (!stack_.back().first) os_.put(',');
+  stack_.back().first = false;
+}
+
+Writer& Writer::begin_object() {
+  separate();
+  os_.put('{');
+  stack_.push_back({false, true});
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  os_.put('}');
+  stack_.pop_back();
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  separate();
+  os_.put('[');
+  stack_.push_back({true, true});
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  os_.put(']');
+  stack_.pop_back();
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  separate();
+  write_string(os_, k);
+  os_.put(':');
+  after_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  separate();
+  write_double(os_, v);
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  separate();
+  write_string(os_, v);
+  return *this;
+}
+
+Writer& Writer::null() {
+  separate();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace impeccable::obs::json

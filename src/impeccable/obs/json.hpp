@@ -1,0 +1,65 @@
+#pragma once
+// Minimal streaming JSON writer — the one serialization surface behind every
+// stats dump in the repo: the Chrome-trace exporter, the metrics-registry
+// snapshot, RaptorStats/SessionProfile/IterationMetrics::to_json.
+//
+// The writer is a thin state machine over an std::ostream: begin/end
+// object/array, key, value. Commas and quoting are handled here so callers
+// never concatenate JSON by hand. Doubles print shortest-round-trip
+// (std::to_chars), which makes snapshots byte-deterministic for identical
+// inputs.
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace impeccable::obs::json {
+
+/// Escape and quote `s` as a JSON string literal (including the quotes).
+void write_string(std::ostream& os, std::string_view s);
+
+/// Shortest-round-trip double. NaN/inf are not valid JSON and print as null.
+void write_double(std::ostream& os, double v);
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Object member key; must be followed by a value or begin_*.
+  Writer& key(std::string_view k);
+
+  Writer& value(double v);
+  Writer& value(bool v);
+  Writer& value(std::int64_t v);
+  Writer& value(std::uint64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& null();
+
+  /// key + value in one call.
+  template <typename T>
+  Writer& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+ private:
+  void separate();  ///< comma/ newline management before a new element
+
+  std::ostream& os_;
+  struct Level {
+    bool array = false;
+    bool first = true;
+  };
+  std::vector<Level> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace impeccable::obs::json

@@ -1,0 +1,172 @@
+#include "impeccable/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "impeccable/obs/json.hpp"
+
+namespace impeccable::obs {
+
+namespace {
+
+/// Relaxed CAS accumulate for atomic<double> (fetch_add on floating atomics
+/// is C++20 but not universally lock-free; the CAS loop is portable).
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+namespace {
+
+HistogramSpec sanitize(HistogramSpec spec) {
+  if (!(spec.lower > 0.0) || !(spec.upper > spec.lower) || spec.buckets < 1)
+    return HistogramSpec{};  // fall back to the default layout
+  return spec;
+}
+
+}  // namespace
+
+Histogram::Histogram(const HistogramSpec& spec)
+    : spec_(sanitize(spec)),
+      counts_(static_cast<std::size_t>(spec_.buckets)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  log_lower_ = std::log(spec_.lower);
+  inv_log_step_ = static_cast<double>(spec_.buckets) /
+                  (std::log(spec_.upper) - log_lower_);
+}
+
+int Histogram::bucket_index(double v) const {
+  if (!(v >= spec_.lower)) return -1;  // also catches NaN
+  if (v >= spec_.upper) return spec_.buckets;
+  // The log map drifts by an ulp around bucket edges (an exact decade edge
+  // can land at 0.99999999…); the epsilon — ~1e-9 relative in value space —
+  // settles edge values into the bucket they nominally open.
+  const double x = (std::log(v) - log_lower_) * inv_log_step_;
+  const int b = static_cast<int>(std::floor(x + 1e-9));
+  return std::clamp(b, 0, spec_.buckets - 1);
+}
+
+double Histogram::bucket_bound(int i) const {
+  return std::exp(log_lower_ + static_cast<double>(i) / inv_log_step_);
+}
+
+void Histogram::observe(double v) {
+  const int b = bucket_index(v);
+  if (b < 0)
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+  else if (b >= spec_.buckets)
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  else
+    counts_[static_cast<std::size_t>(b)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_)
+    s.counts.push_back(c.load(std::memory_order_relaxed));
+  s.underflow = underflow_.load(std::memory_order_relaxed);
+  s.overflow = overflow_.load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  {
+    std::shared_lock lk(mu_);
+    if (auto it = counters_.find(name); it != counters_.end())
+      return it->second;
+  }
+  std::unique_lock lk(mu_);
+  return counters_[std::string(name)];
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  {
+    std::shared_lock lk(mu_);
+    if (auto it = gauges_.find(name); it != gauges_.end()) return it->second;
+  }
+  std::unique_lock lk(mu_);
+  return gauges_[std::string(name)];
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const HistogramSpec& spec) {
+  {
+    std::shared_lock lk(mu_);
+    if (auto it = histograms_.find(name); it != histograms_.end())
+      return it->second;
+  }
+  std::unique_lock lk(mu_);
+  return histograms_.try_emplace(std::string(name), spec).first->second;
+}
+
+void MetricsRegistry::to_json(std::ostream& os) const {
+  std::shared_lock lk(mu_);
+  json::Writer w(os);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c.value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.kv(name, g.value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    const auto s = h.snapshot();
+    w.key(name).begin_object();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    if (s.count > 0) {
+      w.kv("min", s.min);
+      w.kv("max", s.max);
+    }
+    w.kv("underflow", s.underflow);
+    w.kv("overflow", s.overflow);
+    // Sparse bucket dump: [lower_edge, count] pairs for occupied buckets.
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < s.counts.size(); ++i) {
+      if (s.counts[i] == 0) continue;
+      w.begin_array();
+      w.value(h.bucket_bound(static_cast<int>(i)));
+      w.value(s.counts[i]);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace impeccable::obs

@@ -1,0 +1,97 @@
+#pragma once
+// Metrics registry — named Counter / Gauge / Histogram handles.
+//
+// Handles are created (or found) by name through the registry, then held by
+// reference: registration takes a lock, but add/set/observe on a held handle
+// is a relaxed atomic op with no allocation — safe on the hot path.
+// Registry storage is node-based (std::map), so handle references stay valid
+// for the registry's lifetime. snapshot via to_json() emits one JSON
+// document with keys in sorted (deterministic) order.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace impeccable::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-spaced histogram layout: `buckets` equal ratios spanning
+/// [lower, upper); values below go to the underflow bin, values at or above
+/// `upper` to the overflow bin.
+struct HistogramSpec {
+  double lower = 1e-6;
+  double upper = 1e3;
+  int buckets = 54;  ///< 6 per decade over 9 decades by default
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const HistogramSpec& spec = {});
+
+  void observe(double v);
+
+  /// Bucket for `v`: -1 = underflow, buckets = overflow, else [0, buckets).
+  int bucket_index(double v) const;
+  /// Lower edge of bucket i (i in [0, buckets]; i == buckets gives `upper`).
+  double bucket_bound(int i) const;
+
+  struct Snapshot {
+    std::vector<std::uint64_t> counts;  ///< per bucket
+    std::uint64_t underflow = 0, overflow = 0, count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0;  ///< min/max valid iff count > 0
+  };
+  Snapshot snapshot() const;
+  const HistogramSpec& spec() const { return spec_; }
+
+ private:
+  HistogramSpec spec_;
+  double log_lower_ = 0.0, inv_log_step_ = 0.0;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> underflow_{0}, overflow_{0}, count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_, max_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create by name. References stay valid while the registry lives.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `spec` applies only on first creation of `name`.
+  Histogram& histogram(std::string_view name, const HistogramSpec& spec = {});
+
+  /// One JSON document: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Deterministic for identical recorded values (sorted keys, exact ints,
+  /// shortest-round-trip doubles).
+  void to_json(std::ostream& os) const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace impeccable::obs

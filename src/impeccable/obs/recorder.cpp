@@ -1,0 +1,175 @@
+#include "impeccable/obs/recorder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace impeccable::obs {
+
+namespace {
+
+std::atomic<Recorder*> g_global{nullptr};
+std::atomic<std::uint64_t> g_generation{1};
+
+/// Per-thread pointer into the most recently used recorder, invalidated by
+/// recorder generation (addresses may be reused; generations are not).
+struct TlsCache {
+  const Recorder* rec = nullptr;
+  std::uint64_t gen = 0;
+  void* state = nullptr;
+};
+thread_local TlsCache tls_cache;
+
+}  // namespace
+
+void SpanRecord::arg(std::string key, double v) {
+  SpanArg a;
+  a.key = std::move(key);
+  a.num = v;
+  args.push_back(std::move(a));
+}
+
+void SpanRecord::arg(std::string key, std::string v) {
+  SpanArg a;
+  a.key = std::move(key);
+  a.str = std::move(v);
+  a.is_num = false;
+  args.push_back(std::move(a));
+}
+
+Recorder::Recorder()
+    : generation_(g_generation.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Recorder::~Recorder() = default;
+
+void Recorder::set_clock(Clock clock) { clock_ = std::move(clock); }
+
+double Recorder::now() const {
+  if (clock_) return clock_();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+Recorder::ThreadState& Recorder::thread_state() {
+  if (tls_cache.rec == this && tls_cache.gen == generation_)
+    return *static_cast<ThreadState*>(tls_cache.state);
+  const auto me = std::this_thread::get_id();
+  std::lock_guard lk(registry_mu_);
+  ThreadState* ts = nullptr;
+  for (const auto& t : threads_)
+    if (t->owner == me) {
+      ts = t.get();
+      break;
+    }
+  if (!ts) {
+    auto fresh = std::make_unique<ThreadState>();
+    fresh->owner = me;
+    fresh->lane = static_cast<std::uint32_t>(threads_.size());
+    ts = fresh.get();
+    threads_.push_back(std::move(fresh));
+  }
+  tls_cache = {this, generation_, ts};
+  return *ts;
+}
+
+void Recorder::emit(SpanRecord rec) {
+  ThreadState& ts = thread_state();
+  rec.thread = ts.lane;
+  if (rec.id == 0) rec.id = next_id();
+  std::lock_guard lk(ts.mu);
+  ts.done.push_back(std::move(rec));
+}
+
+namespace {
+
+void sort_spans(std::vector<SpanRecord>& spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.id < b.id;
+            });
+}
+
+}  // namespace
+
+Trace Recorder::take() {
+  Trace out;
+  std::lock_guard lk(registry_mu_);
+  out.thread_lanes = static_cast<std::uint32_t>(threads_.size());
+  for (const auto& t : threads_) {
+    std::lock_guard tlk(t->mu);
+    out.spans.insert(out.spans.end(),
+                     std::make_move_iterator(t->done.begin()),
+                     std::make_move_iterator(t->done.end()));
+    t->done.clear();
+  }
+  sort_spans(out.spans);
+  return out;
+}
+
+Trace Recorder::snapshot() const {
+  Trace out;
+  std::lock_guard lk(registry_mu_);
+  out.thread_lanes = static_cast<std::uint32_t>(threads_.size());
+  for (const auto& t : threads_) {
+    std::lock_guard tlk(t->mu);
+    out.spans.insert(out.spans.end(), t->done.begin(), t->done.end());
+  }
+  sort_spans(out.spans);
+  return out;
+}
+
+SpanId Recorder::current_span() const {
+  // Read-only peek at this thread's stack; no registration on miss.
+  if (tls_cache.rec == this && tls_cache.gen == generation_) {
+    const auto* ts = static_cast<const ThreadState*>(tls_cache.state);
+    return ts->stack.empty() ? 0 : ts->stack.back();
+  }
+  return 0;
+}
+
+Recorder* global() { return g_global.load(std::memory_order_acquire); }
+
+Recorder* set_global(Recorder* rec) {
+  return g_global.exchange(rec, std::memory_order_acq_rel);
+}
+
+void Span::begin(const char* category, std::string name, Recorder* rec,
+                 SpanId parent) {
+  recorder_ = rec;
+  ts_ = &rec->thread_state();
+  rec_.category = category;
+  rec_.name = std::move(name);
+  rec_.id = rec->next_id();
+  rec_.parent =
+      parent == kCurrent ? (ts_->stack.empty() ? 0 : ts_->stack.back())
+                         : parent;
+  rec_.thread = ts_->lane;
+  rec_.start = rec->now();
+  ts_->stack.push_back(rec_.id);
+}
+
+void Span::arg(std::string key, double v) {
+  if (recorder_) rec_.arg(std::move(key), v);
+}
+
+void Span::arg(std::string key, std::string v) {
+  if (recorder_) rec_.arg(std::move(key), std::move(v));
+}
+
+void Span::end() {
+  if (!recorder_) return;
+  rec_.end = recorder_->now();
+  assert(!ts_->stack.empty() && ts_->stack.back() == rec_.id &&
+         "Span must end on its own thread, innermost first");
+  ts_->stack.pop_back();
+  {
+    std::lock_guard lk(ts_->mu);
+    ts_->done.push_back(std::move(rec_));
+  }
+  recorder_ = nullptr;
+  ts_ = nullptr;
+}
+
+}  // namespace impeccable::obs

@@ -1,0 +1,193 @@
+#pragma once
+// obs::Recorder — campaign-wide span tracing behind one API.
+//
+// The RADICAL-analytics role, generalized: every layer of the stack (campaign
+// stages, per-ligand docking, surrogate train/predict, ESMACS replicas, pool
+// workers, rct task execution) records Span intervals into per-thread
+// buffers that merge on flush. A Trace is a plain value; exporters
+// (trace_export.hpp) turn it into Chrome trace_event JSON — loadable in
+// chrome://tracing or Perfetto — or CSV.
+//
+// Clock domains: the recorder's clock is pluggable and is, by convention,
+// ExecutionBackend::now() — so a SimBackend-driven trace is in virtual
+// seconds and a LocalBackend-driven trace in wall seconds, with one schema.
+//
+// Cost model: with no recorder installed (obs::global() == nullptr) an
+// instrumented scope is a single branch — no clock read, no allocation.
+// With a recorder, a span is two clock reads plus one buffer push on the
+// owning thread; counters are relaxed atomic adds on held handles.
+//
+// Threading: a Span must begin and end on the same thread (per-thread parent
+// stacks). Cross-thread causality is expressed by passing an explicit parent
+// span id (Span::id() of the enclosing span) to work fanned out on a pool.
+// Recorder::emit() accepts fully-formed records for event-loop code (the
+// discrete-event backend) that cannot use RAII scopes.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "impeccable/obs/metrics.hpp"
+
+namespace impeccable::obs {
+
+using SpanId = std::uint64_t;
+
+/// Span categories wired through the stack. Chrome's "cat" field; the
+/// acceptance trace of one campaign iteration contains all of them.
+namespace cat {
+inline constexpr const char* kStage = "stage";  ///< campaign stage (EnTK)
+inline constexpr const char* kTask = "task";    ///< rct task execution
+inline constexpr const char* kDock = "dock";    ///< per-ligand docking
+inline constexpr const char* kMl = "ml";        ///< surrogate train/predict
+inline constexpr const char* kFe = "fe";        ///< free-energy replicas
+inline constexpr const char* kPool = "pool";    ///< thread-pool jobs
+}  // namespace cat
+
+struct SpanArg {
+  std::string key;
+  double num = 0.0;
+  std::string str;
+  bool is_num = true;
+};
+
+struct SpanRecord {
+  std::string name;
+  const char* category = "";  ///< static-lifetime string (cat::k*)
+  double start = 0.0, end = 0.0;
+  std::uint32_t thread = 0;  ///< dense per-recorder lane, assigned on emit
+  SpanId id = 0;
+  SpanId parent = 0;  ///< 0 = root
+  std::vector<SpanArg> args;
+
+  double duration() const { return end - start; }
+  void arg(std::string key, double v);
+  void arg(std::string key, std::string v);
+};
+
+/// Flushed spans, sorted by (start, id).
+struct Trace {
+  std::vector<SpanRecord> spans;
+  std::uint32_t thread_lanes = 0;  ///< number of distinct thread lanes
+};
+
+class Recorder {
+ public:
+  using Clock = std::function<double()>;
+
+  Recorder();
+  ~Recorder();
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Install the span clock (by convention ExecutionBackend::now()). An
+  /// empty function restores the default wall clock (steady seconds since
+  /// construction). Not synchronized against concurrent recording — install
+  /// during setup, before spans are live, and reset before the clock's
+  /// captures die.
+  void set_clock(Clock clock);
+  double now() const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Push a fully-formed record into the calling thread's buffer. The
+  /// thread lane is assigned here; a zero id is replaced with a fresh one.
+  void emit(SpanRecord rec);
+
+  /// Merge all per-thread buffers and clear them.
+  Trace take();
+  /// Merge without clearing (open spans are still absent: a span is only
+  /// buffered when it ends).
+  Trace snapshot() const;
+
+  /// Innermost open span on the calling thread (0 = none). This is what an
+  /// implicit-parent Span will attach to.
+  SpanId current_span() const;
+
+ private:
+  friend class Span;
+
+  struct ThreadState {
+    std::thread::id owner;
+    std::uint32_t lane = 0;
+    std::vector<SpanId> stack;  ///< owner thread only
+    mutable std::mutex mu;      ///< guards `done`
+    std::vector<SpanRecord> done;
+  };
+
+  ThreadState& thread_state();
+  SpanId next_id() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+  std::atomic<SpanId> next_id_{1};
+  std::uint64_t generation_;  ///< invalidates thread-local caches
+  Clock clock_;
+  std::chrono::steady_clock::time_point epoch_;
+  MetricsRegistry metrics_;
+};
+
+/// Process-global recorder: nullptr (recording disabled) unless installed.
+Recorder* global();
+/// Install `rec` (may be nullptr); returns the previous recorder.
+Recorder* set_global(Recorder* rec);
+
+/// RAII install/uninstall of the global recorder.
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(Recorder* rec) : prev_(set_global(rec)) {}
+  ~ScopedRecorder() { set_global(prev_); }
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  Recorder* prev_;
+};
+
+/// RAII span handle. Inactive (zero-cost beyond one branch) when the
+/// recorder is null. `parent` defaults to the innermost open span on this
+/// thread; pass an explicit id (or 0 for root) to parent across threads.
+class Span {
+ public:
+  static constexpr SpanId kCurrent = ~SpanId{0};
+
+  Span() = default;
+  // The null-recorder fast path stays inline: no out-of-line call, no clock
+  // read — just the SSO construction of `name` and one branch.
+  Span(const char* category, std::string name, Recorder* rec = global(),
+       SpanId parent = kCurrent) {
+    if (rec) begin(category, std::move(name), rec, parent);
+  }
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return recorder_ != nullptr; }
+  SpanId id() const { return rec_.id; }
+  /// Recorder-clock time the span opened (0 when inactive).
+  double start_time() const { return rec_.start; }
+
+  void arg(std::string key, double v);
+  void arg(std::string key, std::string v);
+
+  /// End early (idempotent; the destructor calls it). Must run on the
+  /// thread that constructed the span.
+  void end();
+
+ private:
+  void begin(const char* category, std::string name, Recorder* rec,
+             SpanId parent);
+
+  Recorder* recorder_ = nullptr;
+  Recorder::ThreadState* ts_ = nullptr;
+  SpanRecord rec_;
+};
+
+}  // namespace impeccable::obs

@@ -1,0 +1,24 @@
+#pragma once
+// Trace exporters: Chrome trace_event JSON (open in chrome://tracing or
+// https://ui.perfetto.dev) and flat CSV for external plotting.
+
+#include <ostream>
+#include <string>
+
+#include "impeccable/obs/recorder.hpp"
+
+namespace impeccable::obs {
+
+/// Chrome trace_event "JSON object format": complete ("ph":"X") events with
+/// microsecond timestamps, one tid per recorder thread lane, span args under
+/// "args" (plus the span/parent ids, so parenting survives the export).
+void write_chrome_trace(const Trace& trace, std::ostream& os, int pid = 1);
+void write_chrome_trace(const Trace& trace, const std::string& path,
+                        int pid = 1);
+
+/// One row per span: name,category,start,end,duration,thread,id,parent,args
+/// (args serialized as k=v pairs separated by ';').
+void write_trace_csv(const Trace& trace, std::ostream& os);
+void write_trace_csv(const Trace& trace, const std::string& path);
+
+}  // namespace impeccable::obs

@@ -17,6 +17,26 @@ const char* to_string(TaskState s) {
   return "?";
 }
 
+// ---------------------------------------------------- ExecutionBackend (obs)
+
+void ExecutionBackend::record_task(const TaskResult& result,
+                                   double submit_time, int cpus, int gpus,
+                                   int whole_nodes) {
+  if (!recorder_) return;
+  obs::SpanRecord rec;
+  rec.category = obs::cat::kTask;
+  rec.name = result.name;
+  rec.start = result.start_time;
+  rec.end = result.end_time;
+  rec.arg("submit", submit_time);
+  rec.arg("cpus", static_cast<double>(cpus));
+  rec.arg("gpus", static_cast<double>(gpus));
+  rec.arg("whole_nodes", static_cast<double>(whole_nodes));
+  rec.arg("ok", result.ok ? 1.0 : 0.0);
+  if (!result.error.empty()) rec.arg("error", result.error);
+  recorder_->emit(std::move(rec));
+}
+
 // ---------------------------------------------------------------- SimBackend
 
 SimBackend::SimBackend(const hpc::MachineSpec& machine,
@@ -25,13 +45,16 @@ SimBackend::SimBackend(const hpc::MachineSpec& machine,
 
 void SimBackend::submit(TaskDescription task, CompletionCallback on_complete) {
   hpc::SlotRequest req{task.cpus, task.gpus, task.whole_nodes};
+  const double submitted = sim_.now();
   auto shared = std::make_shared<TaskDescription>(std::move(task));
   auto cb = std::make_shared<CompletionCallback>(std::move(on_complete));
-  cluster_.submit(req, [this, req, shared, cb](const hpc::Placement& where) {
+  cluster_.submit(req, [this, req, submitted, shared,
+                        cb](const hpc::Placement& where) {
     auto run = std::make_shared<Running>();
     run->request = req;
     run->placement = where;
     run->callback = cb;
+    run->submit_time = submitted;
     run->result.name = shared->name;
     run->result.start_time = sim_.now();
     if (shared->payload) {
@@ -52,6 +75,8 @@ void SimBackend::submit(TaskDescription task, CompletionCallback on_complete) {
       run->result.end_time = sim_.now();
       cluster_.release(run->request, run->placement);
       std::erase(running_, run);
+      record_task(run->result, run->submit_time, run->request.cpus,
+                  run->request.gpus, run->request.whole_nodes);
       (*run->callback)(run->result);
     });
   });
@@ -77,6 +102,8 @@ void SimBackend::ensure_walltime_event() {
       run->result.error = "pilot walltime";
       run->result.end_time = sim_.now();
       cluster_.release(run->request, run->placement);
+      record_task(run->result, run->submit_time, run->request.cpus,
+                  run->request.gpus, run->request.whole_nodes);
       (*run->callback)(run->result);
     }
     // Tasks (re)submitted by the callbacks re-arm the next boundary via
@@ -101,9 +128,10 @@ double LocalBackend::now() {
 }
 
 void LocalBackend::submit(TaskDescription task, CompletionCallback on_complete) {
+  const double submitted = now();
   auto shared = std::make_shared<TaskDescription>(std::move(task));
   auto cb = std::make_shared<CompletionCallback>(std::move(on_complete));
-  pool_.submit([this, shared, cb] {
+  pool_.submit([this, submitted, shared, cb] {
     TaskResult result;
     result.name = shared->name;
     result.start_time = now();
@@ -116,6 +144,8 @@ void LocalBackend::submit(TaskDescription task, CompletionCallback on_complete) 
       }
     }
     result.end_time = now();
+    record_task(result, submitted, shared->cpus, shared->gpus,
+                shared->whole_nodes);
     (*cb)(result);
   });
 }

@@ -14,6 +14,7 @@
 
 #include "impeccable/common/thread_pool.hpp"
 #include "impeccable/hpc/cluster.hpp"
+#include "impeccable/obs/recorder.hpp"
 #include "impeccable/rct/task.hpp"
 
 namespace impeccable::rct {
@@ -43,6 +44,24 @@ class ExecutionBackend {
   /// LGA runs, MD replicas). Null for backends with no real compute
   /// resources, e.g. SimBackend.
   virtual common::ThreadPool* compute_pool() { return nullptr; }
+
+  /// Attach a span recorder: the backend emits one cat::kTask span per task
+  /// (name, submit/start/end on this backend's clock, resources, failure)
+  /// and higher layers (AppManager stage spans) record through it too.
+  /// Null (the default) disables task tracing. Not owned; the recorder must
+  /// outlive recorded activity. The span clock is the recorder's clock —
+  /// wire it to now() (ProfiledBackend does this) so SimBackend traces are
+  /// in virtual time and LocalBackend traces in wall time, one schema.
+  virtual void set_recorder(obs::Recorder* rec) { recorder_ = rec; }
+  obs::Recorder* recorder() const { return recorder_; }
+
+ protected:
+  /// Emit the cat::kTask span for one finished task (no-op without a
+  /// recorder). `submit_time` is when submit() was called on this clock.
+  void record_task(const TaskResult& result, double submit_time, int cpus,
+                   int gpus, int whole_nodes);
+
+  obs::Recorder* recorder_ = nullptr;
 };
 
 struct SimBackendOptions {
@@ -78,7 +97,8 @@ class SimBackend : public ExecutionBackend {
     hpc::Placement placement;
     TaskResult result;
     std::shared_ptr<CompletionCallback> callback;
-    bool finished = false;  ///< set by completion or walltime kill
+    double submit_time = 0.0;  ///< virtual time of the submit() call
+    bool finished = false;     ///< set by completion or walltime kill
   };
 
   void ensure_walltime_event();

@@ -31,6 +31,8 @@ void AppManager::advance(const std::shared_ptr<PipelineRun>& run) {
     if (run->pipeline.stages_.empty()) return;  // pipeline finished
     head = &run->pipeline.stages_.front();
     run->outstanding = head->tasks.size();
+    run->stage_begin = backend_.now();
+    run->stage_tasks = head->tasks.size();
   }
 
   if (head->tasks.empty()) {
@@ -73,10 +75,25 @@ void AppManager::on_task_done(const std::shared_ptr<PipelineRun>& run,
   // The whole stage finished: fire post_exec (outside the lock — it may
   // append stages), pop the stage, then advance after the fixed overhead.
   Stage done_stage;
+  double stage_begin = 0.0;
+  std::size_t stage_tasks = 0;
   {
     std::lock_guard lock(mutex_);
     done_stage = std::move(run->pipeline.stages_.front());
     run->pipeline.stages_.pop_front();
+    stage_begin = run->stage_begin;
+    stage_tasks = run->stage_tasks;
+  }
+  if (obs::Recorder* rec = backend_.recorder()) {
+    obs::SpanRecord span;
+    span.category = obs::cat::kStage;
+    span.name = done_stage.name.empty() ? run->pipeline.name()
+                                        : done_stage.name;
+    span.start = stage_begin;
+    span.end = backend_.now();
+    span.arg("pipeline", run->pipeline.name());
+    span.arg("tasks", static_cast<double>(stage_tasks));
+    rec->emit(std::move(span));
   }
   if (done_stage.post_exec) done_stage.post_exec(run->pipeline);
 

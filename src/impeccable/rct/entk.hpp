@@ -75,6 +75,8 @@ class AppManager {
   struct PipelineRun {
     Pipeline pipeline;
     std::size_t outstanding = 0;  ///< tasks still running in the head stage
+    double stage_begin = 0.0;     ///< backend time the head stage started
+    std::size_t stage_tasks = 0;  ///< head-stage task count (span arg)
     explicit PipelineRun(Pipeline p) : pipeline(std::move(p)) {}
   };
 

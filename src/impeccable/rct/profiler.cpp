@@ -3,47 +3,115 @@
 #include <algorithm>
 #include <fstream>
 #include <stdexcept>
+#include <string_view>
+
+#include "impeccable/obs/csv.hpp"
+#include "impeccable/obs/json.hpp"
 
 namespace impeccable::rct {
 
-void ProfiledBackend::submit(TaskDescription task, CompletionCallback on_complete) {
-  const double submitted = inner_.now();
-  const std::string name = task.name;
-  const int cpus = task.cpus;
-  const int gpus = task.gpus > 0 ? task.gpus
-                                 : task.whole_nodes * 6;  // whole-node proxy
-  inner_.submit(std::move(task),
-                [this, submitted, name, cpus, gpus,
-                 cb = std::move(on_complete)](const TaskResult& result) {
-                  {
-                    std::lock_guard lock(mutex_);
-                    TaskRecord rec;
-                    rec.name = name;
-                    rec.submit_time = submitted;
-                    rec.start_time = result.start_time;
-                    rec.end_time = result.end_time;
-                    rec.ok = result.ok;
-                    rec.cpus = cpus;
-                    rec.gpus = gpus;
-                    records_.push_back(std::move(rec));
-                  }
-                  cb(result);
-                });
+namespace {
+
+double num_arg(const obs::SpanRecord& span, std::string_view key, double dflt) {
+  for (const auto& a : span.args)
+    if (a.is_num && a.key == key) return a.num;
+  return dflt;
+}
+
+std::string str_arg(const obs::SpanRecord& span, std::string_view key) {
+  for (const auto& a : span.args)
+    if (!a.is_num && a.key == key) return a.str;
+  return {};
+}
+
+}  // namespace
+
+ProfiledBackend::ProfiledBackend(ExecutionBackend& inner,
+                                 obs::Recorder* recorder)
+    : inner_(inner),
+      owned_(recorder ? nullptr : std::make_unique<obs::Recorder>()),
+      rec_(recorder ? recorder : owned_.get()) {
+  rec_->set_clock([&inner] { return inner.now(); });
+  inner_.set_recorder(rec_);
+  recorder_ = rec_;  // layers driving the decorator (AppManager) see it too
+}
+
+ProfiledBackend::~ProfiledBackend() {
+  recorder_ = nullptr;
+  inner_.set_recorder(nullptr);
+  // The clock closure captures inner_; drop it before the capture can
+  // dangle (only matters for borrowed recorders that outlive us).
+  rec_->set_clock({});
 }
 
 SessionProfile ProfiledBackend::profile() const {
-  std::lock_guard lock(mutex_);
-  return SessionProfile{records_};
+  return SessionProfile::from_trace(rec_->snapshot());
+}
+
+SessionProfile SessionProfile::from_trace(const obs::Trace& trace) {
+  SessionProfile out;
+  for (const auto& span : trace.spans) {
+    if (std::string_view(span.category) != obs::cat::kTask) continue;
+    TaskRecord rec;
+    rec.name = span.name;
+    rec.submit_time = num_arg(span, "submit", span.start);
+    rec.start_time = span.start;
+    rec.end_time = span.end;
+    rec.ok = num_arg(span, "ok", 1.0) != 0.0;
+    rec.cpus = static_cast<int>(num_arg(span, "cpus", 0.0));
+    rec.whole_nodes = static_cast<int>(num_arg(span, "whole_nodes", 0.0));
+    const int gpus = static_cast<int>(num_arg(span, "gpus", 0.0));
+    // Whole-node proxy: exclusive-node tasks own the node's GPUs (6/node,
+    // Summit) even when the request listed none.
+    rec.gpus = gpus > 0 ? gpus : rec.whole_nodes * 6;
+    rec.error = str_arg(span, "error");
+    out.tasks.push_back(std::move(rec));
+  }
+  return out;
 }
 
 void SessionProfile::write_csv(const std::string& path) const {
   std::ofstream f(path, std::ios::trunc);
   if (!f) throw std::runtime_error("SessionProfile::write_csv: cannot open " + path);
-  f << "name,submit,start,end,queue_wait,runtime,ok,cpus,gpus\n";
-  for (const auto& r : tasks)
-    f << r.name << ',' << r.submit_time << ',' << r.start_time << ','
-      << r.end_time << ',' << r.queue_wait() << ',' << r.runtime() << ','
-      << (r.ok ? 1 : 0) << ',' << r.cpus << ',' << r.gpus << "\n";
+  obs::CsvWriter csv(f);
+  csv.cell("name").cell("submit").cell("start").cell("end").cell("queue_wait")
+      .cell("runtime").cell("ok").cell("cpus").cell("gpus").cell("whole_nodes")
+      .cell("error");
+  csv.end_row();
+  for (const auto& r : tasks) {
+    csv.cell(r.name).cell(r.submit_time).cell(r.start_time).cell(r.end_time)
+        .cell(r.queue_wait()).cell(r.runtime()).cell(r.ok ? 1 : 0)
+        .cell(r.cpus).cell(r.gpus).cell(r.whole_nodes).cell(r.error);
+    csv.end_row();
+  }
+}
+
+void SessionProfile::to_json(std::ostream& os) const {
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.kv("tasks", static_cast<std::uint64_t>(tasks.size()));
+  w.kv("makespan", makespan());
+  w.kv("mean_queue_wait", mean_queue_wait());
+  w.kv("total_task_runtime", total_task_runtime());
+  w.kv("peak_concurrency", peak_concurrency());
+  w.kv("idle_fraction", idle_fraction());
+  w.key("records");
+  w.begin_array();
+  for (const auto& r : tasks) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("submit", r.submit_time);
+    w.kv("start", r.start_time);
+    w.kv("end", r.end_time);
+    w.kv("ok", r.ok);
+    w.kv("cpus", r.cpus);
+    w.kv("gpus", r.gpus);
+    w.kv("whole_nodes", r.whole_nodes);
+    if (!r.error.empty()) w.kv("error", r.error);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
 }
 
 double SessionProfile::makespan() const {

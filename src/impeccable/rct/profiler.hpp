@@ -4,13 +4,19 @@
 // utilization/overhead summaries. The paper's Fig. 7 and its overhead-
 // invariance claim are exactly the kind of analysis these records support.
 //
-// ProfiledBackend decorates any ExecutionBackend; the campaign and the
-// benches can wrap their backend and read the session profile afterwards.
+// Since the obs:: redesign this is a VIEW over span traces, not a separate
+// recording channel: backends emit one obs::cat::kTask span per task and
+// SessionProfile::from_trace() reconstructs the per-task records from a
+// flushed obs::Trace. ProfiledBackend survives as a thin decorator that owns
+// (or borrows) an obs::Recorder, wires its clock to the inner backend's
+// now(), and attaches it — existing call sites keep compiling unchanged.
 
-#include <mutex>
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "impeccable/obs/recorder.hpp"
 #include "impeccable/rct/backend.hpp"
 
 namespace impeccable::rct {
@@ -23,6 +29,8 @@ struct TaskRecord {
   bool ok = true;
   int cpus = 0;
   int gpus = 0;
+  int whole_nodes = 0;    ///< whole-node request (exclusive MD-style tasks)
+  std::string error;      ///< failure reason, e.g. "pilot walltime"
 
   double queue_wait() const { return start_time - submit_time; }
   double runtime() const { return end_time - start_time; }
@@ -31,9 +39,17 @@ struct TaskRecord {
 struct SessionProfile {
   std::vector<TaskRecord> tasks;
 
-  /// Dump one row per task (name, submit, start, end, wait, runtime, ok)
-  /// for external plotting — the RADICAL-analytics export.
+  /// Rebuild per-task records from the cat::kTask spans of a flushed trace.
+  /// Whole-node tasks that requested no explicit GPUs report the node's GPU
+  /// complement (6/node, Summit) so utilization math keeps working.
+  static SessionProfile from_trace(const obs::Trace& trace);
+
+  /// Dump one row per task (name, submit, start, end, wait, runtime, ok,
+  /// resources, error) for external plotting — the RADICAL-analytics export.
   void write_csv(const std::string& path) const;
+
+  /// Machine-readable summary + per-task rows as one JSON object.
+  void to_json(std::ostream& os) const;
 
   double makespan() const;
   double mean_queue_wait() const;
@@ -47,12 +63,22 @@ struct SessionProfile {
   double idle_fraction() const;
 };
 
-/// Decorator recording a TaskRecord per submitted task.
+/// Decorator attaching an obs::Recorder to any backend. Deprecated as a
+/// recording mechanism — backends record through obs directly; this remains
+/// for call sites that want a one-liner `profile()` without owning a
+/// Recorder themselves.
 class ProfiledBackend : public ExecutionBackend {
  public:
-  explicit ProfiledBackend(ExecutionBackend& inner) : inner_(inner) {}
+  /// Wraps `inner`, wiring `recorder`'s clock to inner.now() and attaching
+  /// it so the inner backend emits task spans into it. A null `recorder`
+  /// means this decorator owns a private one.
+  explicit ProfiledBackend(ExecutionBackend& inner,
+                           obs::Recorder* recorder = nullptr);
+  ~ProfiledBackend() override;
 
-  void submit(TaskDescription task, CompletionCallback on_complete) override;
+  void submit(TaskDescription task, CompletionCallback on_complete) override {
+    inner_.submit(std::move(task), std::move(on_complete));
+  }
   void after(double delay, std::function<void()> fn) override {
     inner_.after(delay, std::move(fn));
   }
@@ -60,13 +86,16 @@ class ProfiledBackend : public ExecutionBackend {
   double now() override { return inner_.now(); }
   common::ThreadPool* compute_pool() override { return inner_.compute_pool(); }
 
+  /// The recorder task spans land in (owned or borrowed).
+  obs::Recorder& trace_recorder() { return *rec_; }
+
   /// Snapshot of everything recorded so far.
   SessionProfile profile() const;
 
  private:
   ExecutionBackend& inner_;
-  mutable std::mutex mutex_;
-  std::vector<TaskRecord> records_;
+  std::unique_ptr<obs::Recorder> owned_;  ///< null when borrowing
+  obs::Recorder* rec_ = nullptr;
 };
 
 }  // namespace impeccable::rct

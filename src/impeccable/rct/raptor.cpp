@@ -5,9 +5,26 @@
 #include <memory>
 #include <stdexcept>
 
+#include <ostream>
+
 #include "impeccable/common/rng.hpp"
+#include "impeccable/obs/json.hpp"
 
 namespace impeccable::rct {
+
+void RaptorStats::to_json(std::ostream& os) const {
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.kv("tasks", static_cast<std::uint64_t>(tasks));
+  w.kv("makespan", makespan);
+  w.kv("throughput_per_hour", throughput_per_hour);
+  w.kv("worker_utilization", worker_utilization);
+  w.kv("load_imbalance", load_imbalance);
+  w.kv("workers", static_cast<std::uint64_t>(worker_busy.size()));
+  w.kv("workers_failed", workers_failed);
+  w.kv("bulks_requeued", static_cast<std::uint64_t>(bulks_requeued));
+  w.end_object();
+}
 
 namespace {
 

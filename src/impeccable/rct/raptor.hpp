@@ -10,6 +10,7 @@
 // with sustained tens-of-millions docks/hour.
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "impeccable/hpc/des.hpp"
@@ -42,6 +43,9 @@ struct RaptorStats {
   std::vector<double> worker_busy;  ///< per-worker busy seconds
   int workers_failed = 0;
   std::size_t bulks_requeued = 0;
+
+  /// One JSON object (obs::json writer — deterministic doubles).
+  void to_json(std::ostream& os) const;
 };
 
 /// Execute `durations` (seconds per request) through the overlay on a fresh

@@ -132,7 +132,9 @@ TEST(ProfileCsv, WritesOneRowPerTask) {
   std::string line;
   int rows = 0;
   std::getline(f, line);
-  EXPECT_EQ(line, "name,submit,start,end,queue_wait,runtime,ok,cpus,gpus");
+  EXPECT_EQ(line,
+            "name,submit,start,end,queue_wait,runtime,ok,cpus,gpus,"
+            "whole_nodes,error");
   while (std::getline(f, line))
     if (!line.empty()) ++rows;
   EXPECT_EQ(rows, 3);
