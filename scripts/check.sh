@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# One-command verification gate: configure + build both presets, run the full
+# suite on the default build and the concurrency-sensitive subsets (obs +
+# graph labels) under ThreadSanitizer.
+#
+# Usage: scripts/check.sh [-j N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+while getopts "j:" opt; do
+  case $opt in
+    j) JOBS=$OPTARG ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+echo "== configure + build (default preset) =="
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+
+echo "== full test suite (default preset) =="
+ctest --preset default -j "$JOBS"
+
+echo "== configure + build (tsan preset) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+
+echo "== tsan: obs-labeled tests =="
+ctest --preset tsan-obs -j "$JOBS"
+
+echo "== tsan: graph-labeled tests =="
+ctest --preset tsan-graph -j "$JOBS"
+
+echo "== all checks passed =="

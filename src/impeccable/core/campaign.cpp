@@ -1,28 +1,15 @@
 #include "impeccable/core/campaign.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <numeric>
+#include <sstream>
 
-#include "impeccable/chem/descriptors.hpp"
-#include "impeccable/chem/protonation.hpp"
-#include "impeccable/core/checkpoint.hpp"
-#include "impeccable/chem/diversity.hpp"
-#include "impeccable/chem/smiles.hpp"
-#include "impeccable/common/stats.hpp"
-#include "impeccable/md/analysis.hpp"
-#include "impeccable/md/simulation.hpp"
+#include "impeccable/core/stages/graph_builder.hpp"
 #include "impeccable/ml/gemm.hpp"
-#include "impeccable/ml/lof.hpp"
-#include "impeccable/ml/res.hpp"
 #include "impeccable/obs/json.hpp"
 #include "impeccable/obs/recorder.hpp"
 #include "impeccable/rct/backend.hpp"
 
 namespace impeccable::core {
-
-using common::Rng;
 
 Target Target::make(const std::string& name, std::uint64_t seed,
                     int protein_residues, int grid_nodes,
@@ -48,466 +35,52 @@ Target Target::make(const std::string& name, std::uint64_t seed,
   return t;
 }
 
-namespace {
-
-/// Mutable state of one campaign iteration, shared by the stage payloads.
-/// Tasks write only to their own index; stage barriers order the phases.
-struct IterationState {
-  // S1 inputs/outputs.
-  std::vector<std::size_t> dock_indices;  ///< into the library
-  std::vector<chem::Molecule> molecules;  ///< parsed, parallel to dock_indices
-  std::vector<dock::DockResult> dock_results;
-
-  // S3-CG.
-  std::vector<std::size_t> cg_pick;  ///< indices into dock_indices
-  std::vector<md::System> cg_systems;
-  std::vector<int> cg_rotatable;
-  std::vector<fe::EsmacsResult> cg_results;
-
-  // S2 -> S3-FG.
-  struct FgJob {
-    std::size_t cg_index = 0;  ///< which CG compound this conformation is of
-    md::System system;
-    int rotatable = 0;
-  };
-  std::vector<FgJob> fg_jobs;
-  std::vector<fe::EsmacsResult> fg_results;
-
-  // Stage timestamps (backend seconds) for throughput metrics.
-  double s1_begin = 0.0, s1_end = 0.0;
-};
-
-/// Deterministic per-item seed derivation.
-std::uint64_t item_seed(std::uint64_t base, std::uint64_t salt, std::uint64_t i) {
-  std::uint64_t s = base ^ (salt * 0x9e3779b97f4a7c15ULL);
-  common::splitmix64(s);
-  return s ^ (i * 0xbf58476d1ce4e5b9ULL);
-}
-
-}  // namespace
-
 Campaign::Campaign(Target target, const CampaignConfig& config)
     : target_(std::move(target)), config_(config) {}
 
 CampaignReport Campaign::run() {
+  rct::LocalBackend local(config_.threads);
+  return run(local);
+}
+
+CampaignReport Campaign::run(rct::ExecutionBackend& raw) {
   CampaignReport report;
 
-  const chem::CompoundLibrary library = chem::generate_library(
-      config_.library_name, config_.library_size, config_.library_seed);
-
-  // Parse and depict the whole library once (ML1 inference input).
-  std::vector<chem::Molecule> lib_mols;
-  std::vector<chem::Image> lib_images;
-  lib_mols.reserve(library.size());
-  lib_images.reserve(library.size());
-  for (const auto& entry : library.entries) {
-    chem::Molecule mol = chem::parse_smiles(entry.smiles);
-    if (config_.prepare_ligands_at_ph > 0.0)
-      mol = chem::protonate_for_ph(mol, config_.prepare_ligands_at_ph);
-    lib_mols.push_back(std::move(mol));
-    lib_images.push_back(chem::depict(lib_mols.back()));
-    CompoundRecord rec;
-    rec.id = entry.id;
-    rec.smiles = entry.smiles;
-    report.compounds.emplace(entry.id, std::move(rec));
-  }
-
-  // Accumulated ML1 training data: depictions + dock scores (feedback loop).
-  std::vector<chem::Image> train_images;
-  std::vector<double> train_scores;
-
-  // Resume: restore prior records and rebuild the training set from them.
-  if (!config_.resume_checkpoint.empty()) {
-    const auto prev = read_checkpoint(config_.resume_checkpoint);
-    for (std::size_t i = 0; i < library.size(); ++i) {
-      const auto it = prev.find(library.entries[i].id);
-      if (it == prev.end()) continue;
-      auto& rec = report.compounds.at(library.entries[i].id);
-      rec = it->second;
-      if (rec.docked) {
-        train_images.push_back(lib_images[i]);
-        train_scores.push_back(rec.dock_score);
-      }
-    }
-  }
-
-  rct::LocalBackend local(config_.threads);
-  rct::ProfiledBackend backend(local, config_.recorder);
+  rct::ProfiledBackend backend(raw, config_.recorder);
   // Every instrumented layer below (dock, ml, fe, pool) records through the
   // global recorder; restored on scope exit.
   obs::ScopedRecorder scoped(&backend.trace_recorder());
-  rct::AppManager manager(backend);
   // The ML1 surrogate picks the pool up through the process-wide compute
-  // pool (restored on exit so nothing dangles past `local`'s lifetime).
+  // pool (restored on exit so nothing dangles past the backend's lifetime).
   struct PoolGuard {
     common::ThreadPool* prev;
     explicit PoolGuard(common::ThreadPool* p) : prev(ml::set_compute_pool(p)) {}
     ~PoolGuard() { ml::set_compute_pool(prev); }
-  } pool_guard(local.compute_pool());
-  Rng campaign_rng(config_.seed);
+  } pool_guard(raw.compute_pool());
 
-  for (int iter = 0; iter < config_.iterations; ++iter) {
-    const auto t_iter0 = std::chrono::steady_clock::now();
-    obs::Span iter_span(obs::cat::kStage, "iteration-" + std::to_string(iter));
-    auto state = std::make_shared<IterationState>();
-    IterationMetrics metrics;
-    metrics.iteration = iter;
+  auto state = std::make_shared<stages::CampaignState>();
+  state->target = &target_;
+  state->config = &config_;
+  state->backend = &backend;
+  state->report = &report;
+  state->init();
 
-    // ------------------------------------------------------------ ML1
-    // Select the docking candidates. Iteration 0 bootstraps with a random
-    // diverse sample; later iterations train the surrogate on accumulated
-    // docking data and screen the entire library.
-    std::vector<double> surrogate_scores(library.size(), 0.5);
-    ml::SurrogateModel surrogate(config_.surrogate);
+  report.iterations.resize(static_cast<std::size_t>(config_.iterations));
+  for (int i = 0; i < config_.iterations; ++i)
+    report.iterations[static_cast<std::size_t>(i)].iteration = i;
 
-    rct::Pipeline pipeline("iteration-" + std::to_string(iter));
-    rct::Stage ml1;
-    ml1.name = "ML1";
-    {
-      rct::TaskDescription t;
-      t.name = "ml1-train-infer";
-      t.payload = [&, state, iter] {
-        if (iter > 0 && train_images.size() >= 8) {
-          const double best = *std::min_element(train_scores.begin(), train_scores.end());
-          const double worst = *std::max_element(train_scores.begin(), train_scores.end());
-          std::vector<float> labels;
-          labels.reserve(train_scores.size());
-          for (double s : train_scores)
-            labels.push_back(ml::score_to_label(s, best, worst));
-          surrogate.train(train_images, labels);
-          const auto pred = surrogate.predict_batch(lib_images);
-          for (std::size_t i = 0; i < pred.size(); ++i)
-            surrogate_scores[i] = pred[i];
-          report.flops->add("ML1", surrogate.flops_per_image() *
-                                      (lib_images.size() +
-                                       3 * train_images.size() * config_.surrogate.epochs));
-        }
-      };
-      ml1.tasks.push_back(std::move(t));
-    }
+  rct::AppManagerOptions mopts;
+  mopts.max_retries = config_.max_retries;
+  mopts.stage_transition_overhead = config_.stage_transition_overhead;
+  rct::AppManager manager(backend, mopts);
 
-    // post_exec of ML1: pick the dock set and build the S1 stage.
-    ml1.post_exec = [&, state, iter](rct::Pipeline& pipe) {
-      std::vector<std::size_t> chosen;
-      if (iter == 0 || train_images.size() < 8) {
-        // Bootstrap: random sample.
-        std::vector<std::size_t> all(library.size());
-        std::iota(all.begin(), all.end(), std::size_t{0});
-        campaign_rng.shuffle(all);
-        all.resize(std::min(config_.bootstrap_docks, all.size()));
-        chosen = std::move(all);
-      } else {
-        metrics.library_screened = library.size();
-        // Rank by surrogate; take the top fraction plus exploration picks.
-        std::vector<std::size_t> order(library.size());
-        std::iota(order.begin(), order.end(), std::size_t{0});
-        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-          return surrogate_scores[a] > surrogate_scores[b];
-        });
-        std::size_t budget = std::max<std::size_t>(
-            4, static_cast<std::size_t>(config_.dock_top_fraction *
-                                        static_cast<double>(library.size())));
-        if (config_.auto_dock_budget) {
-          // Validation set: compounds with both a surrogate prediction and a
-          // docking ground truth.
-          std::vector<double> pred, truth;
-          for (std::size_t i = 0; i < library.size(); ++i) {
-            const auto& rec = report.compounds.at(library.entries[i].id);
-            if (!rec.docked) continue;
-            pred.push_back(surrogate_scores[i]);
-            truth.push_back(-rec.dock_score);
-          }
-          if (pred.size() >= 20) {
-            const ml::EnrichmentSurface res(pred, truth);
-            const double frac = res.budget_for(config_.auto_budget_top,
-                                               config_.auto_budget_coverage);
-            budget = std::clamp<std::size_t>(
-                static_cast<std::size_t>(frac * static_cast<double>(library.size())),
-                4, library.size() / 2);
-          }
-        }
-        const std::size_t explore = static_cast<std::size_t>(
-            config_.explore_fraction * static_cast<double>(budget));
-        const std::size_t top = budget - explore;
-        for (std::size_t k = 0; k < top && k < order.size(); ++k)
-          chosen.push_back(order[k]);
-        // Exploration: uniform over the remainder (Sec. 7.1.1: sample lower
-        // ranks so high-affinity compounds are not missed).
-        for (std::size_t e = 0; e < explore && top + e < order.size(); ++e) {
-          const std::size_t lo = top;
-          const std::size_t span = order.size() - lo;
-          chosen.push_back(order[lo + campaign_rng.index(span)]);
-        }
-        std::sort(chosen.begin(), chosen.end());
-        chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
-      }
+  rct::StageGraph graph;
+  stages::add_campaign_graph(graph, state, config_.iterations,
+                             config_.pipeline_iterations);
+  manager.run_graph(std::move(graph));
 
-      // Never redo work restored from a checkpoint.
-      chosen.erase(std::remove_if(chosen.begin(), chosen.end(),
-                                  [&](std::size_t idx) {
-                                    return report.compounds
-                                        .at(library.entries[idx].id)
-                                        .docked;
-                                  }),
-                   chosen.end());
-
-      state->dock_indices = std::move(chosen);
-      state->molecules.reserve(state->dock_indices.size());
-      for (std::size_t idx : state->dock_indices)
-        state->molecules.push_back(lib_mols[idx]);
-      state->dock_results.resize(state->dock_indices.size());
-      state->s1_begin = backend.now();
-
-      rct::Stage s1;
-      s1.name = "S1";
-      for (std::size_t i = 0; i < state->dock_indices.size(); ++i) {
-        rct::TaskDescription t;
-        t.name = "dock-" + library.entries[state->dock_indices[i]].id;
-        t.gpus = 1;
-        t.payload = [&, state, i] {
-          dock::DockOptions dopts = config_.dock;
-          dopts.seed = item_seed(config_.seed, 0xd0c, state->dock_indices[i]);
-          dopts.pool = backend.compute_pool();
-          const auto& id = library.entries[state->dock_indices[i]].id;
-          // S1 protocol: enumerate conformers, dock against every crystal
-          // structure of the target, keep the best pose overall.
-          if (target_.grids.size() > 1) {
-            state->dock_results[i] = dock::dock_multi_structure(
-                target_.grids, state->molecules[i], id, dopts);
-          } else if (config_.conformers_per_ligand > 1) {
-            state->dock_results[i] = dock::dock_conformer_ensemble(
-                *target_.grid, state->molecules[i], id,
-                config_.conformers_per_ligand, dopts);
-          } else {
-            state->dock_results[i] =
-                dock::dock(*target_.grid, state->molecules[i], id, dopts);
-          }
-        };
-        s1.tasks.push_back(std::move(t));
-      }
-
-      // post_exec of S1: record scores, feed the training set, select the
-      // diverse CG set, and build the S3-CG stage.
-      s1.post_exec = [&, state](rct::Pipeline& p2) {
-        state->s1_end = backend.now();
-        for (std::size_t i = 0; i < state->dock_indices.size(); ++i) {
-          const auto& dres = state->dock_results[i];
-          auto& rec = report.compounds.at(dres.ligand_id);
-          rec.dock_score = dres.best_score;
-          rec.docked = true;
-          rec.surrogate_score = surrogate_scores[state->dock_indices[i]];
-          train_images.push_back(lib_images[state->dock_indices[i]]);
-          train_scores.push_back(dres.best_score);
-          report.flops->add(
-              "S1", dres.evaluations *
-                        dock::flops_per_evaluation(
-                            state->molecules[i].atom_count(),
-                            static_cast<int>(state->molecules[i].atom_count()) * 4));
-        }
-
-        // Diversity pick over the docked set (Sec. 7.1.2).
-        std::vector<chem::BitSet> fps;
-        fps.reserve(state->molecules.size());
-        for (const auto& mol : state->molecules)
-          fps.push_back(chem::morgan_fingerprint(mol));
-        state->cg_pick = chem::maxmin_pick(
-            fps, std::min(config_.cg_compounds, fps.size()),
-            item_seed(config_.seed, 0xd17, 0));
-
-        state->cg_systems.reserve(state->cg_pick.size());
-        state->cg_rotatable.reserve(state->cg_pick.size());
-        for (std::size_t k : state->cg_pick) {
-          state->cg_systems.push_back(md::build_lpc(
-              target_.protein, state->molecules[k], state->dock_results[k].best_coords));
-          state->cg_rotatable.push_back(
-              chem::compute_descriptors(state->molecules[k]).rotatable_bonds);
-        }
-        state->cg_results.resize(state->cg_pick.size());
-
-        rct::Stage cg;
-        cg.name = "S3-CG";
-        for (std::size_t j = 0; j < state->cg_pick.size(); ++j) {
-          rct::TaskDescription t;
-          t.name = "cg-" + state->dock_results[state->cg_pick[j]].ligand_id;
-          t.gpus = 1;
-          t.payload = [&, state, j] {
-            fe::EsmacsConfig cfg = config_.esmacs_cg;
-            cfg.keep_trajectories = true;  // S2 consumes the ensembles
-            state->cg_results[j] =
-                fe::run_esmacs(state->cg_systems[j], state->cg_rotatable[j], cfg,
-                               item_seed(config_.seed, 0xc6, j),
-                               backend.compute_pool());
-          };
-          cg.tasks.push_back(std::move(t));
-        }
-
-        // post_exec of S3-CG: record energies and build the S2 stage.
-        cg.post_exec = [&, state](rct::Pipeline& p3) {
-          for (std::size_t j = 0; j < state->cg_pick.size(); ++j) {
-            const auto& id = state->dock_results[state->cg_pick[j]].ligand_id;
-            auto& rec = report.compounds.at(id);
-            rec.cg_energy = state->cg_results[j].binding_free_energy;
-            rec.cg_error = state->cg_results[j].std_error;
-            rec.cg_done = true;
-            report.flops->add(
-                "S3-CG", state->cg_results[j].md_steps *
-                             md::flops_per_md_step(
-                                 state->cg_systems[j].topology.bead_count(),
-                                 static_cast<std::uint64_t>(
-                                     state->cg_systems[j].topology.bead_count()) * 24));
-          }
-
-          rct::Stage s2;
-          s2.name = "S2";
-          rct::TaskDescription t;
-          t.name = "aae-train-lof";
-          t.gpus = 6;  // the paper trains with 6 GPUs per model
-          t.payload = [&, state] {
-            // Rank CG compounds by energy; keep the top binders.
-            std::vector<std::size_t> order(state->cg_pick.size());
-            std::iota(order.begin(), order.end(), std::size_t{0});
-            std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-              return state->cg_results[a].binding_free_energy <
-                     state->cg_results[b].binding_free_energy;
-            });
-            order.resize(std::min(config_.top_binders, order.size()));
-
-            // Collect Cα point clouds from every frame of every replica of
-            // the selected compounds.
-            struct CloudRef {
-              std::size_t cg_index;
-              std::size_t replica;
-              std::size_t frame;
-            };
-            std::vector<std::vector<common::Vec3>> clouds;
-            std::vector<CloudRef> refs;
-            for (std::size_t j : order) {
-              const auto& trajs = state->cg_results[j].trajectories;
-              for (std::size_t r = 0; r < trajs.size(); ++r) {
-                for (std::size_t f = 0; f < trajs[r].frames.size(); ++f) {
-                  clouds.push_back(md::protein_point_cloud(
-                      trajs[r].frames[f], state->cg_systems[j]));
-                  refs.push_back({j, r, f});
-                }
-              }
-            }
-            if (clouds.empty()) return;
-
-            ml::Aae3d aae(static_cast<int>(clouds.front().size()), config_.aae);
-            aae.train(clouds);
-            const auto latent = aae.embed_batch(clouds);
-            const auto lof = ml::local_outlier_factor(
-                latent, std::min<int>(10, static_cast<int>(latent.size()) - 1));
-            report.flops->add("S2", aae.flops_per_sample() * clouds.size() *
-                                       static_cast<std::uint64_t>(config_.aae.epochs));
-
-            // Per binder: the most outlying conformations seed S3-FG.
-            for (std::size_t j : order) {
-              std::vector<std::pair<double, std::size_t>> mine;
-              for (std::size_t c = 0; c < refs.size(); ++c)
-                if (refs[c].cg_index == j) mine.emplace_back(lof[c], c);
-              std::sort(mine.rbegin(), mine.rend());
-              const std::size_t take =
-                  std::min(config_.outliers_per_binder, mine.size());
-              for (std::size_t o = 0; o < take; ++o) {
-                const CloudRef& ref = refs[mine[o].second];
-                IterationState::FgJob job;
-                job.cg_index = j;
-                job.system = state->cg_systems[j];
-                job.system.positions = state->cg_results[j]
-                                           .trajectories[ref.replica]
-                                           .frames[ref.frame]
-                                           .positions;
-                job.rotatable = state->cg_rotatable[j];
-                state->fg_jobs.push_back(std::move(job));
-              }
-            }
-            state->fg_results.resize(state->fg_jobs.size());
-          };
-          s2.tasks.push_back(std::move(t));
-
-          // post_exec of S2: build the S3-FG stage.
-          s2.post_exec = [&, state](rct::Pipeline& p4) {
-            rct::Stage fg;
-            fg.name = "S3-FG";
-            for (std::size_t f = 0; f < state->fg_jobs.size(); ++f) {
-              rct::TaskDescription t2;
-              t2.name = "fg-" + std::to_string(f);
-              t2.gpus = 1;
-              t2.payload = [&, state, f] {
-                state->fg_results[f] = fe::run_esmacs(
-                    state->fg_jobs[f].system, state->fg_jobs[f].rotatable,
-                    config_.esmacs_fg, item_seed(config_.seed, 0xf6, f),
-                    backend.compute_pool());
-              };
-              fg.tasks.push_back(std::move(t2));
-            }
-            fg.post_exec = [&, state](rct::Pipeline&) {
-              for (std::size_t f = 0; f < state->fg_jobs.size(); ++f) {
-                const std::size_t j = state->fg_jobs[f].cg_index;
-                const auto& id = state->dock_results[state->cg_pick[j]].ligand_id;
-                auto& rec = report.compounds.at(id);
-                rec.fg_energies.push_back(state->fg_results[f].binding_free_energy);
-                report.flops->add(
-                    "S3-FG", state->fg_results[f].md_steps *
-                                 md::flops_per_md_step(
-                                     state->fg_jobs[f].system.topology.bead_count(),
-                                     static_cast<std::uint64_t>(
-                                         state->fg_jobs[f].system.topology.bead_count()) * 24));
-              }
-            };
-            p4.add_stage(std::move(fg));
-          };
-          p3.add_stage(std::move(s2));
-        };
-        p2.add_stage(std::move(cg));
-      };
-      pipe.add_stage(std::move(s1));
-    };
-
-    pipeline.add_stage(std::move(ml1));
-    manager.run({std::move(pipeline)});
-
-    // ------------------------------------------------------------ metrics
-    metrics.docked = state->dock_indices.size();
-    metrics.cg_runs = state->cg_pick.size();
-    metrics.fg_runs = state->fg_jobs.size();
-    if (metrics.library_screened == 0) metrics.library_screened = metrics.docked;
-    metrics.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t_iter0)
-            .count();
-    const double s1_wall = std::max(1e-9, state->s1_end - state->s1_begin);
-    metrics.dock_throughput = static_cast<double>(metrics.docked) / s1_wall;
-    metrics.effective_ligands_per_second =
-        static_cast<double>(metrics.library_screened) /
-        std::max(1e-9, metrics.wall_seconds);
-
-    {
-      std::vector<double> pred, truth;
-      for (std::size_t i = 0; i < state->dock_indices.size(); ++i) {
-        pred.push_back(surrogate_scores[state->dock_indices[i]]);
-        truth.push_back(-state->dock_results[i].best_score);  // higher = better
-      }
-      metrics.surrogate_spearman =
-          pred.size() >= 3 ? common::spearman(pred, truth) : 0.0;
-    }
-    {
-      double best_cg = 0.0, best_fg = 0.0;
-      for (const auto& r : state->cg_results)
-        best_cg = std::min(best_cg, r.binding_free_energy);
-      for (const auto& r : state->fg_results)
-        best_fg = std::min(best_fg, r.binding_free_energy);
-      metrics.best_cg_energy = best_cg;
-      metrics.best_fg_energy = best_fg;
-    }
-    if (iter_span.active()) {
-      iter_span.arg("docked", static_cast<double>(metrics.docked));
-      iter_span.arg("cg_runs", static_cast<double>(metrics.cg_runs));
-      iter_span.arg("fg_runs", static_cast<double>(metrics.fg_runs));
-    }
-    report.iterations.push_back(metrics);
-  }
-  local.pool().publish_metrics(backend.trace_recorder().metrics());
+  if (common::ThreadPool* pool = raw.compute_pool())
+    pool->publish_metrics(backend.trace_recorder().metrics());
   report.profile = backend.profile();
   return report;
 }
@@ -537,6 +110,55 @@ std::vector<const CompoundRecord*> CampaignReport::cg_ranking() const {
     return a->cg_energy < b->cg_energy;
   });
   return out;
+}
+
+std::string CampaignReport::science_fingerprint() const {
+  std::ostringstream os;
+  obs::json::Writer w(os);
+  w.begin_object();
+  w.key("compounds");
+  w.begin_array();
+  // std::map iteration: deterministic id order.
+  for (const auto& [id, rec] : compounds) {
+    w.begin_object();
+    w.kv("id", rec.id);
+    w.kv("surrogate", rec.surrogate_score);
+    w.kv("docked", rec.docked);
+    w.kv("dock_score", rec.dock_score);
+    w.kv("cg_done", rec.cg_done);
+    w.kv("cg_energy", rec.cg_energy);
+    w.kv("cg_error", rec.cg_error);
+    w.key("fg");
+    w.begin_array();
+    for (double e : rec.fg_energies) w.value(e);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("iterations");
+  w.begin_array();
+  for (const auto& m : iterations) {
+    // Science-bearing fields only: everything wall-clock-derived
+    // (wall_seconds, throughputs) varies across backends and is excluded.
+    w.begin_object();
+    w.kv("iteration", m.iteration);
+    w.kv("library_screened", static_cast<std::uint64_t>(m.library_screened));
+    w.kv("docked", static_cast<std::uint64_t>(m.docked));
+    w.kv("cg_runs", static_cast<std::uint64_t>(m.cg_runs));
+    w.kv("fg_runs", static_cast<std::uint64_t>(m.fg_runs));
+    w.kv("surrogate_spearman", m.surrogate_spearman);
+    w.kv("best_cg_energy", m.best_cg_energy);
+    w.kv("best_fg_energy", m.best_fg_energy);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("flops");
+  w.begin_object();
+  for (const auto& [component, count] : flops->snapshot())
+    w.kv(component, count);
+  w.end_object();
+  w.end_object();
+  return os.str();
 }
 
 }  // namespace impeccable::core

@@ -97,6 +97,39 @@ struct CampaignConfig {
   std::size_t threads = 0;  ///< LocalBackend worker threads (0 = hardware)
   std::uint64_t seed = 0xca4'9a19ULL;
 
+  /// Cross-iteration pipelining (Sec. 5.2.1: "pipelines run concurrently,
+  /// each progressing at its own pace"): when true, iteration i+1's ML1
+  /// retrain/infer depends only on iteration i's S1 feedback merge — not on
+  /// its S3-FG — so next-iteration docking overlaps with the current
+  /// iteration's S3-CG/S2/S3-FG. Per-(iteration, stage) seeding keeps the
+  /// science bitwise identical to sequential mode.
+  bool pipeline_iterations = false;
+
+  /// EnTK AppManager wiring (rct::AppManagerOptions), previously silently
+  /// defaulted inside run(): failed tasks are resubmitted up to max_retries
+  /// times; each non-root stage pays the fixed transition overhead in
+  /// backend seconds.
+  int max_retries = 0;
+  double stage_transition_overhead = 0.5;
+
+  /// When set, a full checkpoint (core::write_checkpoint) is rewritten here
+  /// after each iteration's feedback merge, so a killed campaign resumes via
+  /// resume_checkpoint without redoing finished docking work.
+  std::string checkpoint_path;
+
+  /// Virtual per-task durations in backend seconds, used only when the
+  /// campaign runs on a SimBackend (LocalBackend measures real time). The
+  /// defaults keep the paper's proportions: S3 ensembles dominate, docking
+  /// is cheap per ligand, S2 sits in between.
+  struct StageDurations {
+    double ml1 = 60.0;   ///< the train+infer task
+    double dock = 0.5;   ///< per docked ligand
+    double cg = 600.0;   ///< per S3-CG ensemble
+    double s2 = 300.0;   ///< the AAE train + LOF task
+    double fg = 1200.0;  ///< per S3-FG ensemble
+  };
+  StageDurations sim_durations;
+
   /// Observability: when set, the campaign installs this recorder globally
   /// for the duration of run(), wires its clock to the backend's wall clock,
   /// and every layer (stage, task, dock, ml, fe, pool) records spans and
@@ -156,6 +189,12 @@ struct CampaignReport {
 
   /// Compounds with completed CG runs sorted by CG energy (best first).
   std::vector<const CompoundRecord*> cg_ranking() const;
+
+  /// Canonical JSON serialization of every science-bearing field (compound
+  /// records, per-iteration counts/energies/correlations, flop totals) with
+  /// all wall-clock-derived values excluded. Byte-identical across thread
+  /// counts, backends (Local vs Sim), and sequential vs pipelined mode.
+  std::string science_fingerprint() const;
 };
 
 class Campaign {
@@ -164,6 +203,12 @@ class Campaign {
 
   /// Run the full campaign (blocking). Uses a LocalBackend internally.
   CampaignReport run();
+
+  /// Run the full campaign on an externally-owned backend: the same stage
+  /// modules (core/stages/) drive LocalBackend (real payloads, wall time)
+  /// and SimBackend (payloads in the event loop, virtual time — scale
+  /// studies and deterministic scheduling tests).
+  CampaignReport run(rct::ExecutionBackend& backend);
 
   const CampaignConfig& config() const { return config_; }
   const Target& target() const { return target_; }

@@ -1,0 +1,45 @@
+#include "impeccable/core/stages/campaign_state.hpp"
+
+#include "impeccable/chem/protonation.hpp"
+#include "impeccable/chem/smiles.hpp"
+#include "impeccable/core/checkpoint.hpp"
+
+namespace impeccable::core::stages {
+
+void CampaignState::init() {
+  const CampaignConfig& cfg = *config;
+  library = chem::generate_library(cfg.library_name, cfg.library_size,
+                                   cfg.library_seed);
+
+  // Parse and depict the whole library once (ML1 inference input).
+  lib_mols.reserve(library.size());
+  lib_images.reserve(library.size());
+  for (const auto& entry : library.entries) {
+    chem::Molecule mol = chem::parse_smiles(entry.smiles);
+    if (cfg.prepare_ligands_at_ph > 0.0)
+      mol = chem::protonate_for_ph(mol, cfg.prepare_ligands_at_ph);
+    lib_mols.push_back(std::move(mol));
+    lib_images.push_back(chem::depict(lib_mols.back()));
+    CompoundRecord rec;
+    rec.id = entry.id;
+    rec.smiles = entry.smiles;
+    report->compounds.emplace(entry.id, std::move(rec));
+  }
+
+  // Resume: restore prior records and rebuild the training set from them.
+  if (!cfg.resume_checkpoint.empty()) {
+    const auto prev = read_checkpoint(cfg.resume_checkpoint);
+    for (std::size_t i = 0; i < library.size(); ++i) {
+      const auto it = prev.find(library.entries[i].id);
+      if (it == prev.end()) continue;
+      auto& rec = report->compounds.at(library.entries[i].id);
+      rec = it->second;
+      if (rec.docked) {
+        train_images.push_back(lib_images[i]);
+        train_scores.push_back(rec.dock_score);
+      }
+    }
+  }
+}
+
+}  // namespace impeccable::core::stages

@@ -1,0 +1,130 @@
+#pragma once
+// Shared campaign state threaded through the stage modules.
+//
+// CampaignState replaces the capture-everything lambdas of the old
+// Campaign::run() monolith with one explicit, documented surface. The
+// memory model is simple and load-bearing for cross-iteration pipelining:
+//
+//  * task payloads write only their own pre-sized slot of an
+//    IterationScratch (dock_results[i], cg_results[j], ...);
+//  * every other mutation — selection, feedback accumulation, record and
+//    metric updates — happens inside Stage::merge(), and the graph engine
+//    serializes merges (StageNode::post_exec) across the whole run;
+//  * cross-iteration reads are ordered by graph dependencies: iteration
+//    i+1's ML1 depends on iteration i's S1 merge, which is the only writer
+//    of the training set and the `docked` flags ML1 reads.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "impeccable/core/campaign.hpp"
+
+namespace impeccable::core::stages {
+
+/// Deterministic per-item seed derivation (identical to the historical
+/// campaign formula, so per-compound docking seeds are stable).
+inline std::uint64_t item_seed(std::uint64_t base, std::uint64_t salt,
+                               std::uint64_t i) {
+  std::uint64_t s = base ^ (salt * 0x9e3779b97f4a7c15ULL);
+  common::splitmix64(s);
+  return s ^ (i * 0xbf58476d1ce4e5b9ULL);
+}
+
+/// Mix an iteration index into a stage salt: every (iteration, stage) pair
+/// draws from its own stream, so science results do not depend on the order
+/// iterations execute in (sequential vs pipelined mode).
+inline std::uint64_t iter_salt(std::uint64_t salt, int iteration) {
+  return salt ^ (0x9e3779b97f4a7c15ULL *
+                 (static_cast<std::uint64_t>(iteration) + 1));
+}
+
+/// Virtual-workload description for scale studies: when installed on the
+/// CampaignState, stage modules build chunked TaskDescriptions with
+/// calibrated durations instead of real payloads, and merges become no-ops.
+/// This is how bench/campaign_at_scale drives the real stage modules at
+/// 10^8-ligand scale on a SimBackend.
+struct ScaleModel {
+  double ml1_ligands = 0.0;
+  int ml1_shards = 1;
+  double ml1_gpu_seconds_per_ligand = 0.0;
+
+  std::size_t s1_docks = 0;
+  std::size_t s1_chunk = 1000;  ///< ligands packed per docking task
+  double s1_gpu_seconds_per_ligand = 0.0;
+
+  std::size_t cg_ligands = 0;
+  int cg_whole_nodes = 1;
+  double cg_seconds = 0.0;  ///< per ensemble
+
+  int s2_tasks = 8;
+  int s2_whole_nodes = 2;
+  double s2_seconds = 0.0;
+
+  std::size_t fg_conformations = 0;
+  int fg_whole_nodes = 4;
+  double fg_seconds = 0.0;  ///< per ensemble
+};
+
+/// Mutable state of one campaign iteration, shared by that iteration's five
+/// stage modules. Tasks write only to their own index; graph dependencies
+/// order the phases.
+struct IterationScratch {
+  int iteration = 0;
+
+  // ML1 outputs.
+  std::vector<double> surrogate_scores;
+
+  // S1 inputs/outputs.
+  std::vector<std::size_t> dock_indices;  ///< into the library
+  std::vector<chem::Molecule> molecules;  ///< parsed, parallel to dock_indices
+  std::vector<dock::DockResult> dock_results;
+
+  // S3-CG.
+  std::vector<std::size_t> cg_pick;  ///< indices into dock_indices
+  std::vector<md::System> cg_systems;
+  std::vector<int> cg_rotatable;
+  std::vector<fe::EsmacsResult> cg_results;
+
+  // S2 -> S3-FG.
+  struct FgJob {
+    std::size_t cg_index = 0;  ///< which CG compound this conformation is of
+    md::System system;
+    int rotatable = 0;
+  };
+  std::vector<FgJob> fg_jobs;
+  std::vector<fe::EsmacsResult> fg_results;
+
+  // Stage timestamps (backend seconds) for throughput metrics.
+  double iter_begin = 0.0, s1_begin = 0.0, s1_end = 0.0;
+};
+
+/// Campaign-wide shared state. Owned by Campaign::run(); stage modules hold
+/// it through a shared_ptr captured in the graph nodes.
+struct CampaignState {
+  const Target* target = nullptr;
+  const CampaignConfig* config = nullptr;
+  rct::ExecutionBackend* backend = nullptr;  ///< the profiled wrapper
+  CampaignReport* report = nullptr;
+  const ScaleModel* scale = nullptr;  ///< non-null = virtual workload mode
+
+  chem::CompoundLibrary library;
+  std::vector<chem::Molecule> lib_mols;
+  std::vector<chem::Image> lib_images;
+
+  /// Accumulated ML1 training data: depictions + dock scores (the feedback
+  /// loop). Appended only by S1 merges, read only by downstream ML1 stages.
+  std::vector<chem::Image> train_images;
+  std::vector<double> train_scores;
+
+  /// Generate and featurize the library, then restore checkpointed records
+  /// (config->resume_checkpoint) into the report and the training set.
+  /// Requires target/config/report to be set. Not used in scale mode.
+  void init();
+
+  IterationMetrics& metrics(int iteration) {
+    return report->iterations[static_cast<std::size_t>(iteration)];
+  }
+};
+
+}  // namespace impeccable::core::stages

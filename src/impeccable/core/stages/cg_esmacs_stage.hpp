@@ -1,0 +1,25 @@
+#pragma once
+// S3-CG — coarse ESMACS ensembles on the diversity-picked docked compounds;
+// the merge records binding free energies onto the compound records.
+
+#include <memory>
+
+#include "impeccable/core/stages/stage.hpp"
+
+namespace impeccable::core::stages {
+
+class CgEsmacsStage : public Stage {
+ public:
+  CgEsmacsStage(int iteration, std::shared_ptr<IterationScratch> scratch)
+      : iter_(iteration), s_(std::move(scratch)) {}
+
+  const char* name() const override { return "S3-CG"; }
+  std::vector<rct::TaskDescription> build(CampaignState& cs) override;
+  void merge(CampaignState& cs) override;
+
+ private:
+  int iter_;
+  std::shared_ptr<IterationScratch> s_;
+};
+
+}  // namespace impeccable::core::stages

@@ -1,0 +1,27 @@
+#pragma once
+// S3-FG — fine ESMACS on the outlier conformations of the top CG binders.
+// The merge is the iteration's closing step: it records energies, finalizes
+// the iteration metrics, emits the iteration span, and rewrites the periodic
+// checkpoint.
+
+#include <memory>
+
+#include "impeccable/core/stages/stage.hpp"
+
+namespace impeccable::core::stages {
+
+class FgEsmacsStage : public Stage {
+ public:
+  FgEsmacsStage(int iteration, std::shared_ptr<IterationScratch> scratch)
+      : iter_(iteration), s_(std::move(scratch)) {}
+
+  const char* name() const override { return "S3-FG"; }
+  std::vector<rct::TaskDescription> build(CampaignState& cs) override;
+  void merge(CampaignState& cs) override;
+
+ private:
+  int iter_;
+  std::shared_ptr<IterationScratch> s_;
+};
+
+}  // namespace impeccable::core::stages

@@ -1,0 +1,52 @@
+#include "impeccable/core/stages/graph_builder.hpp"
+
+#include <string>
+
+#include "impeccable/core/stages/cg_esmacs_stage.hpp"
+#include "impeccable/core/stages/fg_esmacs_stage.hpp"
+#include "impeccable/core/stages/ml1_stage.hpp"
+#include "impeccable/core/stages/s1_dock_stage.hpp"
+#include "impeccable/core/stages/s2_aae_stage.hpp"
+
+namespace impeccable::core::stages {
+
+std::vector<CampaignGraphIds> add_campaign_graph(
+    rct::StageGraph& graph, const std::shared_ptr<CampaignState>& state,
+    int iterations, bool pipelined) {
+  std::vector<CampaignGraphIds> out;
+  out.reserve(static_cast<std::size_t>(iterations));
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    auto scratch = std::make_shared<IterationScratch>();
+    scratch->iteration = iter;
+    const std::string pipeline = "iteration-" + std::to_string(iter);
+
+    CampaignGraphIds ids;
+    std::vector<rct::NodeId> ml1_deps;
+    if (iter > 0) {
+      // The feedback edge: next iteration's surrogate needs this
+      // iteration's docking scores — and, in sequential mode, the whole
+      // iteration to have finished.
+      ml1_deps.push_back(pipelined ? out.back().s1 : out.back().fg);
+    }
+    ids.ml1 = graph.add(
+        to_node(std::make_shared<Ml1Stage>(iter, scratch), state, pipeline),
+        std::move(ml1_deps));
+    ids.s1 = graph.add(
+        to_node(std::make_shared<S1DockStage>(iter, scratch), state, pipeline),
+        {ids.ml1});
+    ids.cg = graph.add(
+        to_node(std::make_shared<CgEsmacsStage>(iter, scratch), state, pipeline),
+        {ids.s1});
+    ids.s2 = graph.add(
+        to_node(std::make_shared<S2AaeStage>(iter, scratch), state, pipeline),
+        {ids.cg});
+    ids.fg = graph.add(
+        to_node(std::make_shared<FgEsmacsStage>(iter, scratch), state, pipeline),
+        {ids.s2});
+    out.push_back(ids);
+  }
+  return out;
+}
+
+}  // namespace impeccable::core::stages

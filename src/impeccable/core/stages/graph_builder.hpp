@@ -1,0 +1,39 @@
+#pragma once
+// Assembles the campaign's stage graph: five stage modules per iteration,
+// chained ML1 -> S1 -> S3-CG -> S2 -> S3-FG, plus the cross-iteration
+// feedback edge. Used by Campaign::run() and by the scale benches (which
+// install a ScaleModel on the state and run the same graph on a SimBackend).
+
+#include <memory>
+
+#include "impeccable/core/stages/campaign_state.hpp"
+#include "impeccable/rct/entk.hpp"
+
+namespace impeccable::core::stages {
+
+struct CampaignGraphIds {
+  rct::NodeId ml1 = rct::kNoNode;
+  rct::NodeId s1 = rct::kNoNode;
+  rct::NodeId cg = rct::kNoNode;
+  rct::NodeId s2 = rct::kNoNode;
+  rct::NodeId fg = rct::kNoNode;
+};
+
+/// Add `iterations` campaign iterations to `graph` over the shared state.
+///
+/// Sequential mode (pipelined = false): iteration i+1's ML1 depends on
+/// iteration i's S3-FG — the strict one-iteration-at-a-time loop of the
+/// original monolith.
+///
+/// Pipelined mode (pipelined = true): iteration i+1's ML1 depends only on
+/// iteration i's S1 merge — the earliest point its training data exists —
+/// so iteration i+1's surrogate retrain and docking overlap iteration i's
+/// CG/S2/FG tail. Per-(iteration, stage) seeding keeps the science bitwise
+/// identical between the two modes.
+///
+/// Returns the node ids of every iteration, in order.
+std::vector<CampaignGraphIds> add_campaign_graph(
+    rct::StageGraph& graph, const std::shared_ptr<CampaignState>& state,
+    int iterations, bool pipelined);
+
+}  // namespace impeccable::core::stages

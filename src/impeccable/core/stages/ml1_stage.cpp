@@ -1,0 +1,140 @@
+#include "impeccable/core/stages/ml1_stage.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "impeccable/common/rng.hpp"
+#include "impeccable/ml/res.hpp"
+
+namespace impeccable::core::stages {
+
+std::vector<rct::TaskDescription> Ml1Stage::build(CampaignState& cs) {
+  s_->iter_begin = cs.backend->now();
+
+  if (cs.scale) {
+    // Virtual workload: inference sharded over the partition's GPUs.
+    std::vector<rct::TaskDescription> tasks;
+    const double per_shard =
+        cs.scale->ml1_ligands / static_cast<double>(cs.scale->ml1_shards);
+    for (int k = 0; k < cs.scale->ml1_shards; ++k) {
+      rct::TaskDescription t;
+      t.name = "ml1";
+      t.gpus = 1;
+      t.duration = per_shard * cs.scale->ml1_gpu_seconds_per_ligand;
+      tasks.push_back(std::move(t));
+    }
+    return tasks;
+  }
+
+  s_->surrogate_scores.assign(cs.library.size(), 0.5);
+  surrogate_ = std::make_unique<ml::SurrogateModel>(cs.config->surrogate);
+
+  rct::TaskDescription t;
+  t.name = "ml1-train-infer";
+  t.duration = cs.config->sim_durations.ml1;
+  CampaignState* st = &cs;
+  t.payload = [this, st] {
+    // Iteration 0 has no training data yet; the merge step bootstraps with
+    // a random diverse sample instead.
+    if (iter_ == 0 || st->train_images.size() < 8) return;
+    const auto& scores = st->train_scores;
+    const double best = *std::min_element(scores.begin(), scores.end());
+    const double worst = *std::max_element(scores.begin(), scores.end());
+    std::vector<float> labels;
+    labels.reserve(scores.size());
+    for (double s : scores) labels.push_back(ml::score_to_label(s, best, worst));
+    surrogate_->train(st->train_images, labels);
+    const auto pred = surrogate_->predict_batch(st->lib_images);
+    for (std::size_t i = 0; i < pred.size(); ++i)
+      s_->surrogate_scores[i] = pred[i];
+    st->report->flops->add(
+        "ML1", surrogate_->flops_per_image() *
+                   (st->lib_images.size() +
+                    3 * st->train_images.size() *
+                        static_cast<std::size_t>(st->config->surrogate.epochs)));
+  };
+  return {std::move(t)};
+}
+
+void Ml1Stage::merge(CampaignState& cs) {
+  if (cs.scale) return;
+  const CampaignConfig& cfg = *cs.config;
+  // Per-(iteration, stage) stream: selection randomness is independent of
+  // how many draws earlier iterations consumed, so sequential and pipelined
+  // mode select identical compounds.
+  common::Rng rng(item_seed(cfg.seed, iter_salt(0x311, iter_), 0));
+
+  std::vector<std::size_t> chosen;
+  if (iter_ == 0 || cs.train_images.size() < 8) {
+    // Bootstrap: random sample.
+    std::vector<std::size_t> all(cs.library.size());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    rng.shuffle(all);
+    all.resize(std::min(cfg.bootstrap_docks, all.size()));
+    chosen = std::move(all);
+  } else {
+    cs.metrics(iter_).library_screened = cs.library.size();
+    // Rank by surrogate; take the top fraction plus exploration picks.
+    const auto& scores = s_->surrogate_scores;
+    std::vector<std::size_t> order(cs.library.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return scores[a] > scores[b];
+    });
+    std::size_t budget = std::max<std::size_t>(
+        4, static_cast<std::size_t>(cfg.dock_top_fraction *
+                                    static_cast<double>(cs.library.size())));
+    if (cfg.auto_dock_budget) {
+      // Validation set: compounds with both a surrogate prediction and a
+      // docking ground truth.
+      std::vector<double> pred, truth;
+      for (std::size_t i = 0; i < cs.library.size(); ++i) {
+        const auto& rec = cs.report->compounds.at(cs.library.entries[i].id);
+        if (!rec.docked) continue;
+        pred.push_back(scores[i]);
+        truth.push_back(-rec.dock_score);
+      }
+      if (pred.size() >= 20) {
+        const ml::EnrichmentSurface res(pred, truth);
+        const double frac =
+            res.budget_for(cfg.auto_budget_top, cfg.auto_budget_coverage);
+        budget = std::clamp<std::size_t>(
+            static_cast<std::size_t>(frac *
+                                     static_cast<double>(cs.library.size())),
+            4, cs.library.size() / 2);
+      }
+    }
+    const std::size_t explore = static_cast<std::size_t>(
+        cfg.explore_fraction * static_cast<double>(budget));
+    const std::size_t top = budget - explore;
+    for (std::size_t k = 0; k < top && k < order.size(); ++k)
+      chosen.push_back(order[k]);
+    // Exploration: uniform over the remainder (Sec. 7.1.1: sample lower
+    // ranks so high-affinity compounds are not missed).
+    for (std::size_t e = 0; e < explore && top + e < order.size(); ++e) {
+      const std::size_t lo = top;
+      const std::size_t span = order.size() - lo;
+      chosen.push_back(order[lo + rng.index(span)]);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+  }
+
+  // Never redo work restored from a checkpoint (or docked by an earlier
+  // iteration).
+  chosen.erase(std::remove_if(chosen.begin(), chosen.end(),
+                              [&](std::size_t idx) {
+                                return cs.report->compounds
+                                    .at(cs.library.entries[idx].id)
+                                    .docked;
+                              }),
+               chosen.end());
+
+  s_->dock_indices = std::move(chosen);
+  s_->molecules.reserve(s_->dock_indices.size());
+  for (std::size_t idx : s_->dock_indices)
+    s_->molecules.push_back(cs.lib_mols[idx]);
+  s_->dock_results.resize(s_->dock_indices.size());
+}
+
+}  // namespace impeccable::core::stages

@@ -1,0 +1,26 @@
+#pragma once
+// S1 — ensemble docking of the ML1-selected compounds, then the feedback
+// merge: record scores, grow the ML1 training set, and diversity-pick the
+// S3-CG candidates.
+
+#include <memory>
+
+#include "impeccable/core/stages/stage.hpp"
+
+namespace impeccable::core::stages {
+
+class S1DockStage : public Stage {
+ public:
+  S1DockStage(int iteration, std::shared_ptr<IterationScratch> scratch)
+      : iter_(iteration), s_(std::move(scratch)) {}
+
+  const char* name() const override { return "S1"; }
+  std::vector<rct::TaskDescription> build(CampaignState& cs) override;
+  void merge(CampaignState& cs) override;
+
+ private:
+  int iter_;
+  std::shared_ptr<IterationScratch> s_;
+};
+
+}  // namespace impeccable::core::stages

@@ -1,0 +1,25 @@
+#pragma once
+// S2 — 3D-AAE trained on the CG trajectory point clouds of the top binders;
+// LOF over the latent space picks the outlier conformations that seed S3-FG.
+
+#include <memory>
+
+#include "impeccable/core/stages/stage.hpp"
+
+namespace impeccable::core::stages {
+
+class S2AaeStage : public Stage {
+ public:
+  S2AaeStage(int iteration, std::shared_ptr<IterationScratch> scratch)
+      : iter_(iteration), s_(std::move(scratch)) {}
+
+  const char* name() const override { return "S2"; }
+  std::vector<rct::TaskDescription> build(CampaignState& cs) override;
+  void merge(CampaignState& cs) override;
+
+ private:
+  int iter_;
+  std::shared_ptr<IterationScratch> s_;
+};
+
+}  // namespace impeccable::core::stages

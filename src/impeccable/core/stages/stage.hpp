@@ -1,0 +1,46 @@
+#pragma once
+// Stage-module interface: one small class per campaign stage, owning its
+// task construction (build), payloads, and feedback-merge step (merge) over
+// the explicit shared CampaignState. to_node() adapts a module to a
+// rct::StageNode so the graph engine drives it: build() runs once every
+// dependency completed, merge() becomes the node's (serialized) post_exec.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "impeccable/core/stages/campaign_state.hpp"
+#include "impeccable/rct/entk.hpp"
+
+namespace impeccable::core::stages {
+
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  /// Span / stage name ("ML1", "S1", "S3-CG", "S2", "S3-FG").
+  virtual const char* name() const = 0;
+
+  /// Construct this stage's tasks. Runs when every dependency has completed
+  /// (their merges included), so upstream scratch state is fully populated.
+  virtual std::vector<rct::TaskDescription> build(CampaignState& cs) = 0;
+
+  /// Feedback-merge: fold the finished tasks' results into the shared
+  /// state. Serialized across the whole graph by the engine.
+  virtual void merge(CampaignState& cs) = 0;
+};
+
+/// Wrap a stage module into a graph node labeled with `pipeline`
+/// ("iteration-N"). The node keeps the module and the state alive.
+inline rct::StageNode to_node(std::shared_ptr<Stage> stage,
+                              std::shared_ptr<CampaignState> cs,
+                              std::string pipeline) {
+  rct::StageNode node;
+  node.name = stage->name();
+  node.pipeline = std::move(pipeline);
+  node.build = [stage, cs] { return stage->build(*cs); };
+  node.post_exec = [stage, cs](rct::StageGraph&) { stage->merge(*cs); };
+  return node;
+}
+
+}  // namespace impeccable::core::stages

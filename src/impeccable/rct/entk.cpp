@@ -1,109 +1,190 @@
 #include "impeccable/rct/entk.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace impeccable::rct {
+
+// ------------------------------------------------------------------ graph
+
+NodeId StageGraph::add(StageNode node, std::vector<NodeId> deps) {
+  const NodeId id = nodes_.size();
+  for (NodeId d : deps)
+    if (d >= id)
+      throw std::invalid_argument(
+          "StageGraph::add: dependency on a node not yet in the graph");
+  nodes_.push_back(Entry{std::move(node), std::move(deps)});
+  return id;
+}
+
+// ------------------------------------------------------------- AppManager
 
 AppManager::AppManager(ExecutionBackend& backend, const AppManagerOptions& opts)
     : backend_(backend), opts_(opts) {}
 
+void AppManager::chain_head(StageGraph& graph,
+                            const std::shared_ptr<Pipeline>& pipe, NodeId dep) {
+  if (pipe->stages_.empty()) return;
+  Stage head = std::move(pipe->stages_.front());
+  pipe->stages_.pop_front();
+
+  StageNode node;
+  node.name = std::move(head.name);
+  node.pipeline = pipe->name();
+  node.tasks = std::move(head.tasks);
+  // The node needs its own id inside its post_exec (to chain the successor
+  // after itself); the id only exists after add(), so route it through a
+  // shared slot.
+  auto self = std::make_shared<NodeId>(kNoNode);
+  auto post = std::move(head.post_exec);
+  node.post_exec = [this, pipe, self, post = std::move(post)](StageGraph& g) {
+    if (post) post(*pipe);
+    chain_head(g, pipe, *self);
+  };
+  *self = graph.add(std::move(node),
+                    dep == kNoNode ? std::vector<NodeId>{}
+                                   : std::vector<NodeId>{dep});
+}
+
 std::vector<TaskResult> AppManager::run(std::vector<Pipeline> pipelines) {
-  results_.clear();
+  StageGraph graph;
+  for (auto& p : pipelines)
+    chain_head(graph, std::make_shared<Pipeline>(std::move(p)), kNoNode);
+  return run_graph(std::move(graph));
+}
+
+std::vector<TaskResult> AppManager::run_graph(StageGraph graph) {
   retries_ = 0;
   makespan_ = 0.0;
-
-  std::vector<std::shared_ptr<PipelineRun>> runs;
-  runs.reserve(pipelines.size());
-  for (auto& p : pipelines)
-    runs.push_back(std::make_shared<PipelineRun>(std::move(p)));
-
-  for (const auto& run : runs) advance(run);
+  auto g = std::make_shared<GraphRun>(std::move(graph));
+  std::vector<NodeId> ready;
+  {
+    std::lock_guard lock(mutex_);
+    results_.clear();
+    ready = integrate_locked(*g);
+  }
+  for (NodeId id : ready) schedule(g, id);
   backend_.drain();
 
   std::lock_guard lock(mutex_);
   return results_;
 }
 
-void AppManager::advance(const std::shared_ptr<PipelineRun>& run) {
-  Stage* head = nullptr;
+std::vector<NodeId> AppManager::integrate_locked(GraphRun& g) {
+  std::vector<NodeId> ready;
+  for (NodeId id = g.states.size(); id < g.graph.nodes_.size(); ++id) {
+    g.states.emplace_back();
+    g.dependents.emplace_back();
+    NodeState& st = g.states.back();
+    for (NodeId dep : g.graph.nodes_[id].deps) {
+      if (g.states[dep].done) continue;
+      ++st.waiting;
+      g.dependents[dep].push_back(id);
+    }
+    if (st.waiting == 0) ready.push_back(id);
+  }
+  return ready;
+}
+
+void AppManager::schedule(const std::shared_ptr<GraphRun>& g, NodeId id) {
+  // Dependency-free roots start immediately (the PST first stage);
+  // everything downstream pays the fixed stage-transition overhead.
+  if (g->graph.nodes_[id].deps.empty()) {
+    start_node(g, id);
+  } else {
+    backend_.after(opts_.stage_transition_overhead,
+                   [this, g, id] { start_node(g, id); });
+  }
+}
+
+void AppManager::start_node(const std::shared_ptr<GraphRun>& g, NodeId id) {
+  StageGraph::Entry& entry = g->graph.nodes_[id];
+  if (entry.node.build) {
+    auto built = entry.node.build();
+    for (auto& t : built) entry.node.tasks.push_back(std::move(t));
+  }
   {
     std::lock_guard lock(mutex_);
-    if (run->pipeline.stages_.empty()) return;  // pipeline finished
-    head = &run->pipeline.stages_.front();
-    run->outstanding = head->tasks.size();
-    run->stage_begin = backend_.now();
-    run->stage_tasks = head->tasks.size();
+    NodeState& st = g->states[id];
+    st.begin = backend_.now();
+    st.task_count = entry.node.tasks.size();
+    st.outstanding = entry.node.tasks.size();
   }
-
-  if (head->tasks.empty()) {
-    // Empty stage: run post_exec and move on immediately.
-    on_task_done(run, TaskResult{});
+  if (entry.node.tasks.empty()) {
+    complete_node(g, id);
     return;
   }
-
-  for (auto& task : head->tasks) submit_task(run, task, 0);
+  for (const auto& task : entry.node.tasks) submit_task(g, id, task, 0);
 }
 
-void AppManager::submit_task(const std::shared_ptr<PipelineRun>& run,
+void AppManager::submit_task(const std::shared_ptr<GraphRun>& g, NodeId id,
                              const TaskDescription& task, int attempt) {
-  backend_.submit(task, [this, run, task, attempt](const TaskResult& result) {
-    if (!result.ok && attempt < opts_.max_retries) {
-      {
-        std::lock_guard lock(mutex_);
-        ++retries_;
-      }
-      submit_task(run, task, attempt + 1);
-      return;
-    }
-    on_task_done(run, result);
-  });
+  backend_.submit(task,
+                  [this, g, id, task, attempt](const TaskResult& result) {
+                    if (!result.ok && attempt < opts_.max_retries) {
+                      {
+                        std::lock_guard lock(mutex_);
+                        ++retries_;
+                      }
+                      submit_task(g, id, task, attempt + 1);
+                      return;
+                    }
+                    on_task_done(g, id, result);
+                  });
 }
 
-void AppManager::on_task_done(const std::shared_ptr<PipelineRun>& run,
+void AppManager::on_task_done(const std::shared_ptr<GraphRun>& g, NodeId id,
                               const TaskResult& result) {
-  bool stage_complete = false;
+  bool node_complete = false;
   {
     std::lock_guard lock(mutex_);
     if (!result.name.empty() || result.end_time > 0.0)
       results_.push_back(result);
     makespan_ = std::max(makespan_, result.end_time);
-    if (run->outstanding > 0) --run->outstanding;
-    stage_complete = run->outstanding == 0;
+    NodeState& st = g->states[id];
+    if (st.outstanding > 0) --st.outstanding;
+    node_complete = st.outstanding == 0;
   }
-  if (!stage_complete) return;
+  if (node_complete) complete_node(g, id);
+}
 
-  // The whole stage finished: fire post_exec (outside the lock — it may
-  // append stages), pop the stage, then advance after the fixed overhead.
-  Stage done_stage;
-  double stage_begin = 0.0;
-  std::size_t stage_tasks = 0;
+void AppManager::complete_node(const std::shared_ptr<GraphRun>& g, NodeId id) {
+  StageGraph::Entry& entry = g->graph.nodes_[id];
+  double begin = 0.0;
+  std::size_t task_count = 0;
   {
     std::lock_guard lock(mutex_);
-    done_stage = std::move(run->pipeline.stages_.front());
-    run->pipeline.stages_.pop_front();
-    stage_begin = run->stage_begin;
-    stage_tasks = run->stage_tasks;
+    begin = g->states[id].begin;
+    task_count = g->states[id].task_count;
   }
   if (obs::Recorder* rec = backend_.recorder()) {
     obs::SpanRecord span;
     span.category = obs::cat::kStage;
-    span.name = done_stage.name.empty() ? run->pipeline.name()
-                                        : done_stage.name;
-    span.start = stage_begin;
+    span.name =
+        entry.node.name.empty() ? entry.node.pipeline : entry.node.name;
+    span.start = begin;
     span.end = backend_.now();
-    span.arg("pipeline", run->pipeline.name());
-    span.arg("tasks", static_cast<double>(stage_tasks));
+    span.arg("pipeline", entry.node.pipeline);
+    span.arg("tasks", static_cast<double>(task_count));
     rec->emit(std::move(span));
   }
-  if (done_stage.post_exec) done_stage.post_exec(run->pipeline);
 
-  bool has_more;
+  std::vector<NodeId> ready;
   {
+    // Serialize every post_exec: merge steps across the whole graph run one
+    // at a time, so shared campaign state needs no further locking.
+    std::lock_guard post(post_mutex_);
+    if (entry.node.post_exec) entry.node.post_exec(g->graph);
     std::lock_guard lock(mutex_);
-    has_more = !run->pipeline.stages_.empty();
+    g->states[id].done = true;
+    for (NodeId dep : g->dependents[id]) {
+      NodeState& st = g->states[dep];
+      if (st.waiting > 0 && --st.waiting == 0) ready.push_back(dep);
+    }
+    const auto added = integrate_locked(*g);
+    ready.insert(ready.end(), added.begin(), added.end());
   }
-  if (has_more)
-    backend_.after(opts_.stage_transition_overhead, [this, run] { advance(run); });
+  for (NodeId next : ready) schedule(g, next);
 }
 
 std::size_t AppManager::tasks_failed() const {

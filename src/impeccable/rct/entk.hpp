@@ -1,6 +1,6 @@
 #pragma once
 // EnTK — the Ensemble Toolkit PST (Pipeline, Stage, Task) programming model
-// (Sec. 5.2.1).
+// (Sec. 5.2.1), generalized to an explicit stage graph.
 //
 // Tasks without mutual ordering share a stage; stages execute sequentially
 // within a pipeline; pipelines run concurrently, each progressing at its own
@@ -8,6 +8,15 @@
 // append further stages to its pipeline — the adaptivity hook that drives
 // the iterative (S3-CG)-(S2)-(S3-FG) loop and "selects parameters at
 // runtime" for cost/accuracy trade-offs.
+//
+// The StageGraph drops the strict PST sequence: stages declare explicit
+// dependencies on other stages — within one pipeline, across pipelines, or
+// across campaign iterations — and AppManager::run_graph() executes every
+// stage as soon as its dependencies have completed (and their post_execs
+// ran). The classic PST pipeline is the linear-chain special case:
+// AppManager::run() translates each Pipeline into a chain of graph nodes,
+// preserving retries, the fixed stage-transition overhead, adaptive
+// post_exec appends, and the per-stage obs spans.
 
 #include <deque>
 #include <functional>
@@ -21,6 +30,7 @@
 namespace impeccable::rct {
 
 class Pipeline;
+class StageGraph;
 
 struct Stage {
   std::string name;
@@ -44,10 +54,57 @@ class Pipeline {
   std::deque<Stage> stages_;
 };
 
+/// Index of a stage node inside a StageGraph.
+using NodeId = std::size_t;
+inline constexpr NodeId kNoNode = ~NodeId{0};
+
+/// One stage of a StageGraph. Tasks may be given up front (`tasks`) or
+/// constructed lazily (`build`) once every dependency has completed — the
+/// graph equivalent of building the next stage inside a post_exec, needed
+/// when a stage's task list depends on upstream results.
+struct StageNode {
+  std::string name;
+  /// Grouping label for the obs stage span ("pipeline" arg); also the span
+  /// name when `name` is empty, mirroring PST pipelines.
+  std::string pipeline;
+  std::vector<TaskDescription> tasks;
+  /// Lazy task construction: invoked when the node becomes ready, right
+  /// before submission; the returned tasks are appended to `tasks`.
+  std::function<std::vector<TaskDescription>()> build;
+  /// Runs once all tasks of this node finished; may add() further nodes to
+  /// the graph (adaptivity). The engine serializes post_exec callbacks —
+  /// they never run concurrently, so shared-state merges need no locking.
+  std::function<void(StageGraph&)> post_exec;
+};
+
+/// A dependency graph of stages. Edges point from a node to stages it
+/// depends on; dependencies must reference already-added nodes (no forward
+/// edges), which structurally rules out cycles.
+class StageGraph {
+ public:
+  /// Add a node depending on `deps` (all of which must already be in the
+  /// graph). Returns the new node's id. Safe to call from a post_exec
+  /// callback during execution (callbacks are serialized by the engine).
+  NodeId add(StageNode node, std::vector<NodeId> deps = {});
+
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  friend class AppManager;
+  struct Entry {
+    StageNode node;
+    std::vector<NodeId> deps;
+  };
+  // deque: node references stay valid while post_exec appends concurrently
+  // with other nodes executing.
+  std::deque<Entry> nodes_;
+};
+
 struct AppManagerOptions {
   /// Fixed inter-stage transition overhead in backend seconds. Invariant to
   /// the number of tasks — the Fig. 7 "overheads ... invariant to scale"
-  /// property falls out of this being a constant.
+  /// property falls out of this being a constant. Applied before any stage
+  /// with at least one dependency; dependency-free roots start immediately.
   double stage_transition_overhead = 0.5;
   /// Failed tasks are resubmitted up to this many times before the failure
   /// is recorded (the paper's "careful exception handling to make the setup
@@ -55,15 +112,23 @@ struct AppManagerOptions {
   int max_retries = 0;
 };
 
-/// Executes a set of pipelines on a backend (the EnTK AppManager).
+/// Executes PST pipelines or an explicit stage graph on a backend (the EnTK
+/// AppManager).
 class AppManager {
  public:
   explicit AppManager(ExecutionBackend& backend,
                       const AppManagerOptions& opts = {});
 
   /// Run all pipelines to completion (blocking). Returns every task result
-  /// in completion order.
+  /// in completion order. Implemented as the linear-chain special case of
+  /// run_graph(): each stage becomes a node depending on its predecessor.
   std::vector<TaskResult> run(std::vector<Pipeline> pipelines);
+
+  /// Run a stage graph to completion (blocking). Every node starts as soon
+  /// as all its dependencies completed (post_exec included), plus the fixed
+  /// stage-transition overhead; independent nodes execute concurrently on
+  /// the backend. Returns every task result in completion order.
+  std::vector<TaskResult> run_graph(StageGraph graph);
 
   /// Statistics of the last run.
   std::size_t tasks_completed() const { return results_.size(); }
@@ -72,23 +137,38 @@ class AppManager {
   double makespan() const { return makespan_; }
 
  private:
-  struct PipelineRun {
-    Pipeline pipeline;
-    std::size_t outstanding = 0;  ///< tasks still running in the head stage
-    double stage_begin = 0.0;     ///< backend time the head stage started
-    std::size_t stage_tasks = 0;  ///< head-stage task count (span arg)
-    explicit PipelineRun(Pipeline p) : pipeline(std::move(p)) {}
+  struct NodeState {
+    std::size_t waiting = 0;      ///< dependencies not yet completed
+    std::size_t outstanding = 0;  ///< tasks still running
+    bool done = false;
+    double begin = 0.0;           ///< backend time the node started
+    std::size_t task_count = 0;   ///< submitted task count (span arg)
+  };
+  struct GraphRun {
+    StageGraph graph;
+    std::vector<NodeState> states;
+    std::vector<std::vector<NodeId>> dependents;
+    explicit GraphRun(StageGraph g) : graph(std::move(g)) {}
   };
 
-  void advance(const std::shared_ptr<PipelineRun>& run);
-  void submit_task(const std::shared_ptr<PipelineRun>& run,
+  /// Fold nodes added since the last call into the run state; returns the
+  /// ids that are immediately ready. Caller holds mutex_.
+  std::vector<NodeId> integrate_locked(GraphRun& g);
+  void schedule(const std::shared_ptr<GraphRun>& g, NodeId id);
+  void start_node(const std::shared_ptr<GraphRun>& g, NodeId id);
+  void submit_task(const std::shared_ptr<GraphRun>& g, NodeId id,
                    const TaskDescription& task, int attempt);
-  void on_task_done(const std::shared_ptr<PipelineRun>& run,
+  void on_task_done(const std::shared_ptr<GraphRun>& g, NodeId id,
                     const TaskResult& result);
+  void complete_node(const std::shared_ptr<GraphRun>& g, NodeId id);
+  /// Pop the head stage of `pipe` into a graph node chained after `dep`.
+  void chain_head(StageGraph& graph, const std::shared_ptr<Pipeline>& pipe,
+                  NodeId dep);
 
   ExecutionBackend& backend_;
   AppManagerOptions opts_;
-  std::mutex mutex_;
+  std::mutex mutex_;       ///< results + node states
+  std::mutex post_mutex_;  ///< serializes post_exec callbacks + graph adds
   std::vector<TaskResult> results_;
   std::size_t retries_ = 0;
   double makespan_ = 0.0;
