@@ -65,12 +65,12 @@ EvalRates measure_rates(const dock::AffinityGrid& grid, const dock::Ligand& lig,
   {
     volatile double sink = 0.0;
     // Warm up (first call sizes the scratch arena).
-    sink += score.evaluate(poses[0]);
+    sink = sink + score.evaluate(poses[0]);
     std::uint64_t n = 0;
     const double t0 = now_sec();
     double t1 = t0;
     while (t1 - t0 < min_seconds) {
-      for (const auto& p : poses) sink += score.evaluate(p);
+      for (const auto& p : poses) sink = sink + score.evaluate(p);
       n += poses.size();
       t1 = now_sec();
     }
@@ -79,12 +79,13 @@ EvalRates measure_rates(const dock::AffinityGrid& grid, const dock::Ligand& lig,
   {
     volatile double sink = 0.0;
     dock::PoseGradient g;
-    sink += score.evaluate_with_gradient(poses[0], g);
+    sink = sink + score.evaluate_with_gradient(poses[0], g);
     std::uint64_t n = 0;
     const double t0 = now_sec();
     double t1 = t0;
     while (t1 - t0 < min_seconds) {
-      for (const auto& p : poses) sink += score.evaluate_with_gradient(p, g);
+      for (const auto& p : poses)
+        sink = sink + score.evaluate_with_gradient(p, g);
       n += poses.size();
       t1 = now_sec();
     }
@@ -107,7 +108,7 @@ double measure_pool_rate(const dock::AffinityGrid& grid, const dock::Ligand& lig
       poses.push_back(lig.random_pose(grid.pocket_center, 3.0, rng));
     volatile double sink = 0.0;
     while (now_sec() - t0 < min_seconds)
-      for (const auto& p : poses) sink += score.evaluate(p);
+      for (const auto& p : poses) sink = sink + score.evaluate(p);
     counts[w] = score.evaluations();
   }, 1);
   const double elapsed = now_sec() - t0;

@@ -1,26 +1,56 @@
 #!/usr/bin/env bash
-# One-command verification gate: configure + build both presets, run the full
-# suite on the default build and the concurrency-sensitive subsets (obs +
-# graph labels) under ThreadSanitizer.
+# One-command verification gate across the whole check matrix:
+#   1. default preset (warnings promoted to errors): build + full suite +
+#      the `lint`-labelled project-rule lint over the tree;
+#   2. asan preset (Address+LeakSanitizer with IMPECCABLE_CHECKS on — the
+#      RNG-ownership auditor and IMP_DCHECK bounds checks run live): full
+#      suite;
+#   3. ubsan preset (-fsanitize=undefined, errors fatal): full suite;
+#   4. tsan preset: the concurrency-sensitive subsets (obs + graph labels).
 #
-# Usage: scripts/check.sh [-j N]
+# Usage: scripts/check.sh [-j N] [-q]
+#   -q  quick: default-preset build, tests, and lint only (skip sanitizers)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
-while getopts "j:" opt; do
+QUICK=0
+while getopts "j:q" opt; do
   case $opt in
     j) JOBS=$OPTARG ;;
-    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    q) QUICK=1 ;;
+    *) echo "usage: $0 [-j N] [-q]" >&2; exit 2 ;;
   esac
 done
 
-echo "== configure + build (default preset) =="
-cmake --preset default
+echo "== configure + build (default preset, -Werror) =="
+cmake --preset default -DIMPECCABLE_WERROR=ON
 cmake --build --preset default -j "$JOBS"
 
 echo "== full test suite (default preset) =="
 ctest --preset default -j "$JOBS"
+
+echo "== project lint (lint label) =="
+ctest --preset lint -j "$JOBS"
+
+if [ "$QUICK" -eq 1 ]; then
+  echo "== quick checks passed (sanitizer lanes skipped) =="
+  exit 0
+fi
+
+echo "== configure + build (asan preset: ASan+LSan, IMPECCABLE_CHECKS) =="
+cmake --preset asan -DIMPECCABLE_WERROR=ON
+cmake --build --preset asan -j "$JOBS"
+
+echo "== asan: full test suite =="
+ctest --preset asan -j "$JOBS"
+
+echo "== configure + build (ubsan preset, -fno-sanitize-recover) =="
+cmake --preset ubsan -DIMPECCABLE_WERROR=ON
+cmake --build --preset ubsan -j "$JOBS"
+
+echo "== ubsan: full test suite =="
+ctest --preset ubsan -j "$JOBS"
 
 echo "== configure + build (tsan preset) =="
 cmake --preset tsan

@@ -1,0 +1,57 @@
+#include "impeccable/common/checks.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define IMPECCABLE_HAVE_EXECINFO 1
+#endif
+
+namespace impeccable::common::checks {
+
+std::uint64_t this_thread_id() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local std::uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+namespace detail {
+
+void print_backtrace_fd(int fd) {
+#ifdef IMPECCABLE_HAVE_EXECINFO
+  void* frames[48];
+  const int n = backtrace(frames, 48);
+  // Skip this frame and fail() itself; symbols go straight to the fd so the
+  // abort path performs no heap allocation after the failure was detected.
+  backtrace_symbols_fd(frames + 2, n > 2 ? n - 2 : n, fd);
+#else
+  (void)fd;
+#endif
+}
+
+}  // namespace detail
+
+void fail(const char* expr, const char* file, int line, const char* func,
+          const char* fmt, ...) {
+  std::fprintf(stderr,
+               "\nIMP_CHECK failed: %s\n  at %s:%d in %s (thread %llu)\n",
+               expr, file, line, func,
+               static_cast<unsigned long long>(this_thread_id()));
+  if (fmt != nullptr) {
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::fputs("  message: ", stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+  }
+  std::fputs("  backtrace:\n", stderr);
+  std::fflush(stderr);
+  detail::print_backtrace_fd(2);
+  std::abort();
+}
+
+}  // namespace impeccable::common::checks

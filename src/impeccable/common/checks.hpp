@@ -1,0 +1,57 @@
+#pragma once
+// Runtime invariant layer (IMPECCABLE_CHECKS).
+//
+// Two macro tiers:
+//   IMP_CHECK(cond, "fmt", ...)   always compiled. Production invariants —
+//                                 the cost of one predictable branch.
+//   IMP_DCHECK(cond, "fmt", ...)  compiled only when IMPECCABLE_CHECKS is
+//                                 defined (assert-style, per-TU): bounds
+//                                 checks on hot accessors, RNG stream
+//                                 auditing, anything too hot for release.
+//
+// Failures print the failed expression, file:line, enclosing function, the
+// optional printf-style message, the small per-thread id used across the
+// checks layer, and a symbolized backtrace, then abort(). The report goes to
+// stderr via fprintf/backtrace_symbols_fd — deliberately NOT std::cerr (see
+// tools/lint rule no-iostream-in-lib) and deliberately unbuffered-adjacent:
+// the process is about to die, so no obs:: machinery is trusted either.
+//
+// The IMPECCABLE_CHECKS gate is code-only by design: it must never change
+// object layout (common::Rng carries its audit tag unconditionally), so a
+// checks-enabled test TU links cleanly against a checks-disabled library —
+// the same contract <cassert> has with NDEBUG.
+
+#include <cstdint>
+
+namespace impeccable::common::checks {
+
+/// Small 1-based id for the calling thread, assigned on first use. Stable
+/// for the thread's lifetime; used in check-failure and RNG-audit reports
+/// because std::thread::id values are unreadable in logs.
+std::uint64_t this_thread_id();
+
+/// Print the failure report (expression context + optional message + this
+/// thread's backtrace) and abort. `fmt` may be null (no message).
+[[noreturn]] void fail(const char* expr, const char* file, int line,
+                       const char* func, const char* fmt = nullptr, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 5, 6)))
+#endif
+    ;
+
+}  // namespace impeccable::common::checks
+
+#define IMP_CHECK(cond, ...)                                            \
+  (static_cast<bool>(cond)                                              \
+       ? static_cast<void>(0)                                           \
+       : ::impeccable::common::checks::fail(#cond, __FILE__, __LINE__,  \
+                                            __func__ __VA_OPT__(, )     \
+                                                __VA_ARGS__))
+
+#ifdef IMPECCABLE_CHECKS
+#define IMP_DCHECK(cond, ...) IMP_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+// Unevaluated operand: no codegen, but variables referenced only by the
+// check do not trip -Wunused under -Werror.
+#define IMP_DCHECK(cond, ...) static_cast<void>(sizeof(!(cond)))
+#endif

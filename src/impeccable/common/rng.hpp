@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "impeccable/common/rng_audit.hpp"
+
 namespace impeccable::common {
 
 /// SplitMix64: used to expand a single 64-bit seed into generator state.
@@ -34,6 +36,12 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x19eccab1eULL) { reseed(seed); }
 
   void reseed(std::uint64_t seed) {
+#ifdef IMPECCABLE_CHECKS
+    // Reseeding starts a fresh stream: the reseeding thread must be the
+    // owner (or the stream unowned), and ownership passes to whoever draws
+    // next — the same transfer rule audit_handoff() enforces.
+    audit_.handoff();
+#endif
     std::uint64_t sm = seed;
     for (auto& w : s_) w = splitmix64(sm);
     cached_gauss_valid_ = false;
@@ -45,6 +53,9 @@ class Rng {
   result_type operator()() { return next(); }
 
   std::uint64_t next() {
+#ifdef IMPECCABLE_CHECKS
+    audit_.on_draw();
+#endif
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
     const std::uint64_t t = s_[1] << 17;
     s_[2] ^= s_[0];
@@ -116,10 +127,26 @@ class Rng {
 
   /// Derive an independent child generator; used to hand each parallel task
   /// (GA run, MD replica, worker) its own stream from one campaign seed.
+  /// The child is unowned until its own first draw, so spawning serially on
+  /// a coordinator and drawing in workers needs no handoff.
   Rng spawn() {
     std::uint64_t child_seed = next() ^ 0xd3adb33fcafef00dULL;
     return Rng(child_seed);
   }
+
+  /// Release this stream's audited thread ownership at a deliberate
+  /// transfer point (e.g. a serialized merge() that migrates between pool
+  /// threads across iterations). The next thread to draw becomes the new
+  /// owner. No-op unless built with IMPECCABLE_CHECKS.
+  void audit_handoff() {
+#ifdef IMPECCABLE_CHECKS
+    audit_.handoff();
+#endif
+  }
+
+  /// Audit tag (see rng_audit.hpp). Present in every build so Rng's layout
+  /// never depends on IMPECCABLE_CHECKS; only the next() hook is gated.
+  const rng_audit::StreamTag& audit() const { return audit_; }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
@@ -129,6 +156,7 @@ class Rng {
   std::uint64_t s_[4]{};
   double cached_gauss_ = 0.0;
   bool cached_gauss_valid_ = false;
+  mutable rng_audit::StreamTag audit_;
 };
 
 }  // namespace impeccable::common

@@ -1,0 +1,117 @@
+#include "impeccable/common/rng_audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "impeccable/common/checks.hpp"
+
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define IMPECCABLE_HAVE_EXECINFO 1
+#endif
+
+namespace impeccable::common::rng_audit {
+
+namespace {
+
+constexpr int kMaxFrames = 32;
+
+/// Where (and by whom) a stream was acquired. Heap-allocated at first draw;
+/// the 16-byte in-object tag stays fixed-size.
+struct AcquireContext {
+  std::uint64_t thread_id = 0;
+  int frame_count = 0;
+  void* frames[kMaxFrames] = {};
+};
+
+void print_frames(void* const* frames, int n) {
+#ifdef IMPECCABLE_HAVE_EXECINFO
+  backtrace_symbols_fd(frames, n, 2);
+#else
+  (void)frames;
+  (void)n;
+#endif
+}
+
+}  // namespace
+
+StreamTag::~StreamTag() { release(); }
+
+std::uint64_t StreamTag::cached_thread_id() {
+  return checks::this_thread_id();
+}
+
+void StreamTag::release() {
+  owner_.store(0, std::memory_order_relaxed);
+  if (void* p = ctx_.exchange(nullptr, std::memory_order_acq_rel))
+    delete static_cast<AcquireContext*>(p);
+}
+
+void StreamTag::handoff() {
+  const std::uint64_t me = cached_thread_id();
+  const std::uint64_t cur = owner_.load(std::memory_order_relaxed);
+  if (cur != 0 && cur != me) {
+    std::fprintf(stderr,
+                 "\nRNG-ownership audit: handoff() by thread %llu but the "
+                 "stream is owned by thread %llu\n  (only the owner — or a "
+                 "point with no draws in flight — may hand a stream off)\n",
+                 static_cast<unsigned long long>(me),
+                 static_cast<unsigned long long>(cur));
+    std::fflush(stderr);
+    std::abort();
+  }
+  // Release ordering: the new owner's acquiring CAS in acquire_or_abort()
+  // synchronizes with this store, so draws after the handoff happen-after
+  // every draw before it.
+  owner_.store(0, std::memory_order_release);
+  if (void* p = ctx_.exchange(nullptr, std::memory_order_acq_rel))
+    delete static_cast<AcquireContext*>(p);
+}
+
+void StreamTag::acquire_or_abort(std::uint64_t me) {
+  std::uint64_t expected = 0;
+  if (owner_.compare_exchange_strong(expected, me, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+    auto* ctx = new AcquireContext;
+    ctx->thread_id = me;
+#ifdef IMPECCABLE_HAVE_EXECINFO
+    ctx->frame_count = backtrace(ctx->frames, kMaxFrames);
+#endif
+    // A racing first draw is itself a violation; whoever loses the ctx
+    // publish race still reports through the owner_ mismatch below on its
+    // next draw, so last-writer-wins is fine here.
+    if (void* prev = ctx_.exchange(ctx, std::memory_order_acq_rel))
+      delete static_cast<AcquireContext*>(prev);
+    return;
+  }
+
+  // Foreign draw: report both contexts, then die. This is a seed-stream
+  // race — the draw order (and thus every downstream score) would depend
+  // on thread scheduling.
+  const auto* ctx =
+      static_cast<const AcquireContext*>(ctx_.load(std::memory_order_acquire));
+  std::fprintf(stderr,
+               "\nRNG-ownership audit: thread %llu drew from a stream owned "
+               "by thread %llu without a handoff\n",
+               static_cast<unsigned long long>(me),
+               static_cast<unsigned long long>(expected));
+  std::fprintf(stderr, "  stream acquired by thread %llu at:\n",
+               ctx ? static_cast<unsigned long long>(ctx->thread_id)
+                   : static_cast<unsigned long long>(expected));
+  std::fflush(stderr);
+  if (ctx != nullptr) print_frames(ctx->frames, ctx->frame_count);
+  std::fprintf(stderr, "  foreign draw by thread %llu at:\n",
+               static_cast<unsigned long long>(me));
+  std::fflush(stderr);
+#ifdef IMPECCABLE_HAVE_EXECINFO
+  void* here[kMaxFrames];
+  print_frames(here, backtrace(here, kMaxFrames));
+#endif
+  std::fprintf(stderr,
+               "  fix: draw on one thread, or call audit_handoff() at the "
+               "transfer point (see DESIGN.md \"Correctness tooling\")\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace impeccable::common::rng_audit

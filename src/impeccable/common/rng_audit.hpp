@@ -1,0 +1,76 @@
+#pragma once
+// RNG stream-ownership auditor — a lightweight race detector for exactly
+// the seed-stream bugs that break science_fingerprint().
+//
+// The determinism contract (DESIGN.md) is that every Rng stream is drawn by
+// ONE logical owner: streams are spawned serially on a coordinating thread
+// and each is then consumed by a single task. Two threads interleaving draws
+// on one stream produce a schedule-dependent (and therefore
+// fingerprint-breaking) sequence, yet the code runs fine — TSan only sees
+// it if the draws race in time, and plain tests only see it as a flaky
+// fingerprint much later. This auditor catches it at the first wrong draw:
+//
+//   * each stream's tag records the owning thread at its FIRST draw
+//     (checks builds capture the acquisition backtrace too);
+//   * a draw by any other thread aborts, printing both contexts — where
+//     the stream was acquired and where the foreign draw happened;
+//   * an explicit `handoff()` releases ownership, so deliberate transfers
+//     (spawn streams on the coordinator, hand each to a worker; or a
+//     serialized merge() that moves between pool threads across
+//     iterations) are one self-documenting call.
+//
+// The tag lives in every Rng unconditionally (16 bytes) so that object
+// layout never depends on IMPECCABLE_CHECKS; only the on_draw() call in
+// Rng::next() is compiled out. Copied or moved-from/into tags reset to
+// unowned: a fresh object is a fresh stream instance.
+
+#include <atomic>
+#include <cstdint>
+
+namespace impeccable::common::rng_audit {
+
+/// Ownership tag embedded in common::Rng. All operations are thread-safe;
+/// the owned-draw fast path is one relaxed load + compare.
+class StreamTag {
+ public:
+  StreamTag() = default;
+  ~StreamTag();
+
+  // A copy or move is a new stream instance: ownership does not transfer
+  // (the source may legitimately stay with its owner; the destination has
+  // not been drawn from yet).
+  StreamTag(const StreamTag&) noexcept {}
+  StreamTag& operator=(const StreamTag&) noexcept {
+    release();
+    return *this;
+  }
+
+  /// Called on every draw in checks builds. First draw acquires ownership
+  /// for the calling thread; a foreign draw aborts with both contexts.
+  void on_draw() {
+    const std::uint64_t me = cached_thread_id();
+    const std::uint64_t cur = owner_.load(std::memory_order_relaxed);
+    if (cur == me) return;
+    acquire_or_abort(me);
+  }
+
+  /// Release ownership: the next thread to draw becomes the new owner.
+  /// Must be called by the current owner (or when no draws are in flight,
+  /// e.g. between pipeline stages); it is itself checked in checks builds.
+  void handoff();
+
+  /// Thread id currently owning the stream; 0 if unowned.
+  std::uint64_t owner() const {
+    return owner_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::uint64_t cached_thread_id();
+  void acquire_or_abort(std::uint64_t me);
+  void release();
+
+  std::atomic<std::uint64_t> owner_{0};
+  std::atomic<void*> ctx_{nullptr};  ///< AcquireContext* (checks builds)
+};
+
+}  // namespace impeccable::common::rng_audit

@@ -18,14 +18,6 @@ GridField::GridField(Vec3 origin, double spacing, int nx, int ny, int nz)
     throw std::invalid_argument("GridField: spacing must be positive");
 }
 
-double& GridField::at(int ix, int iy, int iz) {
-  return data_[(static_cast<std::size_t>(iz) * ny_ + iy) * nx_ + ix];
-}
-
-double GridField::at(int ix, int iy, int iz) const {
-  return data_[(static_cast<std::size_t>(iz) * ny_ + iy) * nx_ + ix];
-}
-
 Vec3 GridField::node(int ix, int iy, int iz) const {
   return origin_ + Vec3{ix * spacing_, iy * spacing_, iz * spacing_};
 }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "impeccable/common/checks.hpp"
 #include "impeccable/common/vec3.hpp"
 
 namespace impeccable::dock {
@@ -43,8 +44,16 @@ class GridField {
  public:
   GridField(common::Vec3 origin, double spacing, int nx, int ny, int nz);
 
-  double& at(int ix, int iy, int iz);
-  double at(int ix, int iy, int iz) const;
+  /// Node access; bounds-checked in IMPECCABLE_CHECKS builds (IMP_DCHECK,
+  /// free otherwise — this sits inside map-building triple loops).
+  double& at(int ix, int iy, int iz) {
+    check_node(ix, iy, iz);
+    return data_[(static_cast<std::size_t>(iz) * ny_ + iy) * nx_ + ix];
+  }
+  double at(int ix, int iy, int iz) const {
+    check_node(ix, iy, iz);
+    return data_[(static_cast<std::size_t>(iz) * ny_ + iy) * nx_ + ix];
+  }
 
   /// Trilinearly interpolated value (and gradient) at a world-space point.
   FieldSample sample(const common::Vec3& p) const;
@@ -86,6 +95,13 @@ class GridField {
   Cell locate(const common::Vec3& p) const;
   double tri_value(const Cell& c) const;
   void tri_sample(const Cell& c, FieldSample& out) const;
+
+  void check_node(int ix, int iy, int iz) const {
+    IMP_DCHECK(ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_ && iz >= 0 &&
+                   iz < nz_,
+               "grid node (%d, %d, %d) out of bounds for %dx%dx%d field", ix,
+               iy, iz, nx_, ny_, nz_);
+  }
 
   common::Vec3 origin_;
   double spacing_;

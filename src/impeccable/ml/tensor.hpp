@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "impeccable/common/checks.hpp"
 #include "impeccable/common/rng.hpp"
 
 namespace impeccable::ml {
@@ -37,22 +38,33 @@ class Tensor {
 
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  float& operator[](std::size_t i) { return data_[i]; }
-  float operator[](std::size_t i) const { return data_[i]; }
+  float& operator[](std::size_t i) {
+    IMP_DCHECK(i < data_.size(), "flat index %zu, size %zu", i, data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    IMP_DCHECK(i < data_.size(), "flat index %zu, size %zu", i, data_.size());
+    return data_[i];
+  }
 
-  /// 2D access (rank-2 tensors).
+  /// 2D access (rank-2 tensors). Bounds- and rank-checked in
+  /// IMPECCABLE_CHECKS builds (IMP_DCHECK; free otherwise).
   float& at(int i, int j) {
+    check2(i, j);
     return data_[static_cast<std::size_t>(i) * shape_[1] + j];
   }
   float at(int i, int j) const {
+    check2(i, j);
     return data_[static_cast<std::size_t>(i) * shape_[1] + j];
   }
-  /// 4D access (rank-4 tensors, NCHW).
+  /// 4D access (rank-4 tensors, NCHW); checked like the 2D form.
   float& at(int n, int c, int h, int w) {
+    check4(n, c, h, w);
     return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
                      shape_[3] + w];
   }
   float at(int n, int c, int h, int w) const {
+    check4(n, c, h, w);
     return data_[((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
                      shape_[3] + w];
   }
@@ -69,6 +81,22 @@ class Tensor {
   std::string shape_string() const;
 
  private:
+  void check2(int i, int j) const {
+    IMP_DCHECK(rank() == 2, "2D at() on rank-%d tensor %s", rank(),
+               shape_string().c_str());
+    IMP_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+               "index (%d, %d) out of bounds for %s", i, j,
+               shape_string().c_str());
+  }
+  void check4(int n, int c, int h, int w) const {
+    IMP_DCHECK(rank() == 4, "4D at() on rank-%d tensor %s", rank(),
+               shape_string().c_str());
+    IMP_DCHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] && h >= 0 &&
+                   h < shape_[2] && w >= 0 && w < shape_[3],
+               "index (%d, %d, %d, %d) out of bounds for %s", n, c, h, w,
+               shape_string().c_str());
+  }
+
   std::vector<int> shape_;
   std::vector<float> data_;
 };

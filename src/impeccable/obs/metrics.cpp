@@ -38,7 +38,12 @@ void atomic_max(std::atomic<double>& a, double v) {
 namespace {
 
 HistogramSpec sanitize(HistogramSpec spec) {
-  if (!(spec.lower > 0.0) || !(spec.upper > spec.lower) || spec.buckets < 1)
+  // Non-finite bounds would degenerate the log map (log(inf) collapses
+  // inv_log_step_ to 0, and bucket_bound() then emits inf/NaN edges into
+  // JSON snapshots), so they are rejected along with non-positive lower.
+  if (!(spec.lower > 0.0) || !(spec.upper > spec.lower) ||
+      !std::isfinite(spec.lower) || !std::isfinite(spec.upper) ||
+      spec.buckets < 1)
     return HistogramSpec{};  // fall back to the default layout
   return spec;
 }
@@ -71,6 +76,7 @@ double Histogram::bucket_bound(int i) const {
 }
 
 void Histogram::observe(double v) {
+  if (std::isnan(v)) return;  // would poison sum (and JSON snapshots)
   const int b = bucket_index(v);
   if (b < 0)
     underflow_.fetch_add(1, std::memory_order_relaxed);

@@ -39,7 +39,11 @@ class Gauge {
 
 /// Log-spaced histogram layout: `buckets` equal ratios spanning
 /// [lower, upper); values below go to the underflow bin, values at or above
-/// `upper` to the overflow bin.
+/// `upper` to the overflow bin. Zero and negative observations are valid
+/// inputs (the log map is never applied to them — they land in underflow and
+/// still contribute to count/sum/min/max); NaN observations are dropped
+/// entirely so one bad sample cannot poison the aggregates. A spec with
+/// non-positive or non-finite bounds falls back to the default layout.
 struct HistogramSpec {
   double lower = 1e-6;
   double upper = 1e3;

@@ -29,6 +29,11 @@ using impeccable::common::Vec3;
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
+
+// Opaque to the inliner: GCC's -Wmismatched-new-delete otherwise pairs the
+// std::free inside our replaced operator delete with a caller's `new` and
+// reports a (spurious) mismatch at every inlined delete site.
+[[gnu::noinline]] void counted_free(void* p) noexcept { std::free(p); }
 }
 
 void* operator new(std::size_t size) {
@@ -44,12 +49,12 @@ void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
 void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
   return ::operator new(size, t);
 }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }
 
 namespace {
 

@@ -304,7 +304,9 @@ TEST(StageGraph, PstRunIsTheLinearChainSpecialCase) {
   // Later stages pay the transition overhead each.
   double prev_end = 0.0;
   for (const auto& r : results) {
-    if (prev_end > 0.0) EXPECT_GE(r.start_time, prev_end + 1.0 - 1e-9);
+    if (prev_end > 0.0) {
+      EXPECT_GE(r.start_time, prev_end + 1.0 - 1e-9);
+    }
     prev_end = r.end_time;
   }
 }

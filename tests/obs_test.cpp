@@ -7,6 +7,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -281,6 +282,45 @@ TEST(ObsMetrics, HistogramBucketBoundaries) {
   EXPECT_DOUBLE_EQ(snap.min, 0.5);
   EXPECT_DOUBLE_EQ(snap.max, 200.0);
   EXPECT_DOUBLE_EQ(snap.sum, 366.5);
+}
+
+// Regression (PR 5 UBSan/edge-case pass): zero and negative observations
+// must never reach the log map, NaN must not poison the aggregates, and a
+// degenerate spec (zero/negative lower, non-finite upper) must fall back to
+// the default layout instead of emitting inf/NaN bucket edges into JSON.
+TEST(ObsMetrics, HistogramZeroNegativeNanEdgeCases) {
+  obs::Histogram h;  // default spec: [1e-6, 1e3)
+
+  EXPECT_EQ(h.bucket_index(0.0), -1);
+  EXPECT_EQ(h.bucket_index(-0.0), -1);
+  EXPECT_EQ(h.bucket_index(-5.0), -1);
+  EXPECT_EQ(h.bucket_index(std::numeric_limits<double>::quiet_NaN()), -1);
+  EXPECT_EQ(h.bucket_index(std::numeric_limits<double>::infinity()),
+            h.spec().buckets);
+
+  h.observe(0.0);
+  h.observe(-3.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());  // dropped entirely
+  h.observe(2.0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.underflow, 2u);
+  EXPECT_EQ(snap.count, 3u);  // NaN not counted
+  EXPECT_DOUBLE_EQ(snap.sum, -1.0);
+  EXPECT_DOUBLE_EQ(snap.min, -3.0);
+  EXPECT_DOUBLE_EQ(snap.max, 2.0);
+
+  // Degenerate specs fall back to the default layout.
+  for (obs::HistogramSpec bad :
+       {obs::HistogramSpec{0.0, 10.0, 4}, obs::HistogramSpec{-1.0, 10.0, 4},
+        obs::HistogramSpec{1.0, std::numeric_limits<double>::infinity(), 4},
+        obs::HistogramSpec{1.0, 10.0, 0}}) {
+    obs::Histogram hb(bad);
+    EXPECT_DOUBLE_EQ(hb.spec().lower, obs::HistogramSpec{}.lower);
+    EXPECT_DOUBLE_EQ(hb.spec().upper, obs::HistogramSpec{}.upper);
+    // Every finite bucket edge stays finite, so JSON snapshots stay valid.
+    for (int i = 0; i <= hb.spec().buckets; ++i)
+      EXPECT_TRUE(std::isfinite(hb.bucket_bound(i))) << i;
+  }
 }
 
 TEST(ObsMetrics, SnapshotIsDeterministic) {

@@ -1,0 +1,460 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace impeccable::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scanner: splits a C++ source into identifier/punctuation tokens with line
+// numbers, plus preprocessor directives and suppression annotations. String
+// and character literals (including raw strings) and comment bodies never
+// produce tokens, so rule matching cannot fire inside them.
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool is_ident = false;
+};
+
+struct Directive {
+  std::string text;  ///< directive line with continuations joined, '#' kept
+  int line = 0;
+};
+
+struct Scan {
+  std::vector<Token> tokens;
+  std::vector<Directive> directives;
+  /// line -> rule ids allowed on that line (from lint:allow /
+  /// lint:allow-next-line on the previous line).
+  std::map<int, std::set<std::string>> line_allows;
+  std::set<std::string> file_allows;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parse "lint:allow(...)" forms out of one comment's text.
+void parse_suppressions(std::string_view comment, int line, Scan& scan) {
+  std::size_t pos = 0;
+  while ((pos = comment.find("lint:allow", pos)) != std::string_view::npos) {
+    std::size_t tail = pos + std::string_view("lint:allow").size();
+    int target_line = line;
+    bool file_wide = false;
+    if (comment.substr(tail, 10) == "-next-line") {
+      target_line = line + 1;
+      tail += 10;
+    } else if (comment.substr(tail, 5) == "-file") {
+      file_wide = true;
+      tail += 5;
+    }
+    if (tail >= comment.size() || comment[tail] != '(') {
+      pos = tail;
+      continue;
+    }
+    std::size_t close = comment.find(')', tail);
+    if (close == std::string_view::npos) break;
+    std::string_view list = comment.substr(tail + 1, close - tail - 1);
+    std::size_t start = 0;
+    while (start <= list.size()) {
+      std::size_t comma = list.find(',', start);
+      std::string_view id = list.substr(
+          start, comma == std::string_view::npos ? list.size() - start
+                                                 : comma - start);
+      while (!id.empty() && id.front() == ' ') id.remove_prefix(1);
+      while (!id.empty() && id.back() == ' ') id.remove_suffix(1);
+      if (!id.empty()) {
+        if (file_wide)
+          scan.file_allows.insert(std::string(id));
+        else
+          scan.line_allows[target_line].insert(std::string(id));
+      }
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+    pos = close;
+  }
+}
+
+Scan scan_source(std::string_view text) {
+  Scan scan;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? text[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: consume the logical line (with continuations).
+    if (c == '#' && at_line_start) {
+      Directive d;
+      d.line = line;
+      while (i < n) {
+        if (text[i] == '\\' && peek(1) == '\n') {
+          d.text += ' ';
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        // A trailing // comment on a directive line still carries
+        // suppressions; cut it from the directive text.
+        if (text[i] == '/' && peek(1) == '/') break;
+        d.text += text[i];
+        ++i;
+      }
+      scan.directives.push_back(std::move(d));
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      parse_suppressions(text.substr(i, end - i), line, scan);
+      i = end;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      parse_suppressions(text.substr(i, std::min(j + 2, n) - i), start_line,
+                         scan);
+      i = std::min(j + 2, n);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim += text[j++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = text.find(closer, j);
+      if (end == std::string_view::npos) end = n;
+      for (std::size_t k = i; k < std::min(end + closer.size(), n); ++k)
+        if (text[k] == '\n') ++line;
+      i = std::min(end + closer.size(), n);
+      continue;
+    }
+
+    // String / char literals with escapes.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        if (text[j] == '\n') ++line;  // unterminated; keep lines honest
+        ++j;
+      }
+      i = std::min(j + 1, n);
+      continue;
+    }
+
+    // Identifier (or keyword — rules treat keywords as identifiers).
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      scan.tokens.push_back(
+          {std::string(text.substr(i, j - i)), line, /*is_ident=*/true});
+      i = j;
+      continue;
+    }
+
+    // Punctuation: join :: and -> so "prev token" checks see one token.
+    if (c == ':' && peek(1) == ':') {
+      scan.tokens.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      scan.tokens.push_back({"->", line, false});
+      i += 2;
+      continue;
+    }
+    scan.tokens.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+
+struct Sink {
+  const Scan& scan;
+  const std::string path;
+  std::vector<Diagnostic>& out;
+
+  void report(int line, std::string_view rule, std::string message) {
+    if (scan.file_allows.count(std::string(rule))) return;
+    if (auto it = scan.line_allows.find(line); it != scan.line_allows.end())
+      if (it->second.count(std::string(rule))) return;
+    out.push_back({path, line, std::string(rule), std::move(message)});
+  }
+};
+
+bool is_member_access(const std::vector<Token>& toks, std::size_t i) {
+  return i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+}
+
+bool next_is(const std::vector<Token>& toks, std::size_t i,
+             std::string_view text) {
+  return i + 1 < toks.size() && toks[i + 1].text == text;
+}
+
+void rule_nondet_source(const Scan& scan, Sink& sink) {
+  static const std::set<std::string, std::less<>> banned = {
+      "random_device", "system_clock", "getenv",  "secure_getenv",
+      "gettimeofday",  "localtime",    "gmtime",  "mktime",
+      "localtime_r",   "gmtime_r",     "time_t",
+  };
+  for (std::size_t i = 0; i < scan.tokens.size(); ++i) {
+    const Token& t = scan.tokens[i];
+    if (!t.is_ident || is_member_access(scan.tokens, i)) continue;
+    if (banned.count(t.text)) {
+      sink.report(t.line, "no-nondet-source",
+                  "'" + t.text +
+                      "' is a nondeterminism source; draw from a seeded "
+                      "common::Rng or use obs:: timing instead");
+    } else if ((t.text == "time" || t.text == "clock") &&
+               next_is(scan.tokens, i, "(")) {
+      sink.report(t.line, "no-nondet-source",
+                  "call to '" + t.text +
+                      "()' reads the wall clock; science must not depend on "
+                      "it (obs:: owns timing)");
+    }
+  }
+  for (const Directive& d : scan.directives) {
+    if (d.text.find("include") == std::string::npos) continue;
+    for (const char* hdr : {"<ctime>", "<time.h>", "<sys/time.h>"}) {
+      if (d.text.find(hdr) != std::string::npos)
+        sink.report(d.line, "no-nondet-source",
+                    std::string("include of ") + hdr +
+                        " in library code (wall-clock API)");
+    }
+  }
+}
+
+void rule_std_rand(const Scan& scan, Sink& sink) {
+  static const std::set<std::string, std::less<>> banned = {
+      "rand", "srand", "rand_r", "drand48", "srand48", "random", "srandom"};
+  for (std::size_t i = 0; i < scan.tokens.size(); ++i) {
+    const Token& t = scan.tokens[i];
+    if (!t.is_ident || !banned.count(t.text)) continue;
+    if (is_member_access(scan.tokens, i)) continue;
+    // Require a call or address-of-function shape so a local named `random`
+    // used as a value does not fire; `std::rand` qualified alone still does.
+    const bool qualified = i > 0 && scan.tokens[i - 1].text == "::";
+    if (!qualified && !next_is(scan.tokens, i, "(")) continue;
+    sink.report(t.line, "no-std-rand",
+                "'" + t.text +
+                    "' is a hidden global RNG stream; every draw must come "
+                    "from an owned, seeded common::Rng");
+  }
+}
+
+void rule_iostream_in_lib(const Scan& scan, Sink& sink) {
+  for (std::size_t i = 0; i < scan.tokens.size(); ++i) {
+    const Token& t = scan.tokens[i];
+    if (!t.is_ident) continue;
+    if (t.text != "cout" && t.text != "cerr" && t.text != "clog") continue;
+    // Only the qualified stream objects (std::cout / ::cout) are findings;
+    // plain `cout` is a legitimate identifier (e.g. conv output channels).
+    if (i == 0 || scan.tokens[i - 1].text != "::") continue;
+    sink.report(t.line, "no-iostream-in-lib",
+                "library code must not write to std::" + t.text +
+                    "; route structured output through obs:: or a "
+                    "caller-supplied stream");
+  }
+}
+
+void rule_naked_alloc(const Scan& scan, Sink& sink) {
+  static const std::set<std::string, std::less<>> fns = {"malloc", "calloc",
+                                                         "realloc"};
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.is_ident) continue;
+    if (fns.count(t.text) && next_is(toks, i, "(") &&
+        !is_member_access(toks, i)) {
+      sink.report(t.line, "no-naked-alloc",
+                  "'" + t.text +
+                      "' in a steady-state scorer file; storage belongs in "
+                      "ScorerScratch or setup-time containers");
+      continue;
+    }
+    if (t.text == "new") {
+      // Array-new detection: skip the type name (identifiers, ::, <...>)
+      // and flag if the first structural token after it is '['.
+      int angle_depth = 0;
+      for (std::size_t j = i + 1; j < toks.size() && j < i + 24; ++j) {
+        const std::string& s = toks[j].text;
+        if (s == "<") ++angle_depth;
+        if (s == ">") --angle_depth;
+        if (angle_depth > 0 || toks[j].is_ident || s == "::" || s == "<" ||
+            s == ">" || s == "*" || s == "&")
+          continue;
+        if (s == "[")
+          sink.report(t.line, "no-naked-alloc",
+                      "array new[] in a steady-state scorer file; the "
+                      "allocation-free evaluate() guarantee forbids naked "
+                      "heap arrays here");
+        break;
+      }
+    }
+  }
+}
+
+void rule_pragma_once(const Scan& scan, Sink& sink) {
+  for (const Directive& d : scan.directives) {
+    if (d.text.find("pragma") != std::string::npos &&
+        d.text.find("once") != std::string::npos)
+      return;
+  }
+  sink.report(1, "pragma-once", "header is missing '#pragma once'");
+}
+
+void rule_unordered_in_stages(const Scan& scan, Sink& sink) {
+  static const std::set<std::string, std::less<>> banned = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (std::size_t i = 0; i < scan.tokens.size(); ++i) {
+    const Token& t = scan.tokens[i];
+    if (!t.is_ident || !banned.count(t.text)) continue;
+    sink.report(t.line, "no-unordered-in-stages",
+                "'" + t.text +
+                    "' in core/stages/: hash-order iteration feeding "
+                    "campaign state is a science_fingerprint() hazard; use "
+                    "std::map / sorted std::vector, or suppress with an "
+                    "ordering argument in review");
+  }
+  for (const Directive& d : scan.directives) {
+    if (d.text.find("include") == std::string::npos) continue;
+    if (d.text.find("<unordered_map>") != std::string::npos ||
+        d.text.find("<unordered_set>") != std::string::npos)
+      sink.report(d.line, "no-unordered-in-stages",
+                  "unordered container include in core/stages/");
+  }
+}
+
+}  // namespace
+
+FileClass classify(std::string_view rel_path) {
+  std::string p(rel_path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  FileClass cls;
+  cls.in_src = p.rfind("src/", 0) == 0;
+  cls.is_header = p.size() >= 4 && (p.ends_with(".hpp") || p.ends_with(".h"));
+  if (cls.in_src && p.find("/dock/") != std::string::npos) {
+    const std::string base = p.substr(p.rfind('/') + 1);
+    cls.in_dock_scorer = base.rfind("score.", 0) == 0 ||
+                         base.rfind("grid.", 0) == 0;
+  }
+  cls.in_stages = p.find("core/stages/") != std::string::npos;
+  return cls;
+}
+
+std::vector<Diagnostic> lint_source(std::string_view text,
+                                    const FileClass& cls,
+                                    std::string_view display_path) {
+  const Scan scan = scan_source(text);
+  std::vector<Diagnostic> out;
+  Sink sink{scan, std::string(display_path), out};
+  if (cls.in_src) {
+    rule_nondet_source(scan, sink);
+    rule_iostream_in_lib(scan, sink);
+  }
+  rule_std_rand(scan, sink);
+  if (cls.in_dock_scorer) rule_naked_alloc(scan, sink);
+  if (cls.is_header) rule_pragma_once(scan, sink);
+  if (cls.in_stages) rule_unordered_in_stages(scan, sink);
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a,
+                                       const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<Diagnostic> lint_file(const std::filesystem::path& path,
+                                  std::string_view rel_path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof())
+    return {{std::string(rel_path), 0, "io", "could not read file"}};
+  return lint_source(buf.str(), classify(rel_path), rel_path);
+}
+
+std::vector<Diagnostic> lint_tree(const std::filesystem::path& root) {
+  std::vector<Diagnostic> out;
+  for (const char* top : {"src", "tests", "bench", "examples", "tools"}) {
+    const std::filesystem::path dir = root / top;
+    if (!std::filesystem::is_directory(dir)) continue;
+    std::vector<std::filesystem::path> files;
+    for (const auto& e :
+         std::filesystem::recursive_directory_iterator(dir)) {
+      if (!e.is_regular_file()) continue;
+      const std::string ext = e.path().extension().string();
+      if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h")
+        files.push_back(e.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files) {
+      const std::string rel =
+          std::filesystem::relative(f, root).generic_string();
+      auto diags = lint_file(f, rel);
+      out.insert(out.end(), diags.begin(), diags.end());
+    }
+  }
+  return out;
+}
+
+std::size_t print(const std::vector<Diagnostic>& diags, std::string& out) {
+  for (const auto& d : diags) {
+    out += d.file;
+    out += ':';
+    out += std::to_string(d.line);
+    out += ": [";
+    out += d.rule;
+    out += "] ";
+    out += d.message;
+    out += '\n';
+  }
+  return diags.size();
+}
+
+}  // namespace impeccable::lint

@@ -1,0 +1,94 @@
+#pragma once
+// imp_lint — project-rule lint for the IMPECCABLE tree.
+//
+// clang-tidy/cppcheck are unavailable offline, and the rules we need are
+// project-specific anyway (determinism discipline, obs-routed output, the
+// dock scorer's allocation-free guarantee), so this is a self-contained
+// token-level scanner: comments, string/char literals, and preprocessor
+// directives are recognized and stripped, identifier tokens are matched
+// whole (no substring false positives on `runtime()` vs `time()`), and each
+// rule is scoped to the directory classes where it is an invariant.
+//
+// Rule catalogue (ids are what suppression comments name):
+//   no-nondet-source    src/ only. Wall-clock, environment, and hardware
+//                       entropy are banned: std::random_device,
+//                       system_clock, time()/clock() calls, getenv,
+//                       localtime/gmtime/mktime/gettimeofday, and
+//                       <ctime>/<time.h> includes. Library randomness comes
+//                       from seeded common::Rng streams; wall time for
+//                       tracing goes through obs:: (steady_clock is allowed
+//                       — it is monotonic and never feeds science).
+//   no-std-rand         everywhere. rand/srand/rand_r/drand48: a hidden
+//                       global stream that breaks seed ownership.
+//   no-iostream-in-lib  src/ only. std::cout/std::cerr/std::clog: library
+//                       output goes through obs:: (tracing/metrics) or
+//                       caller-supplied streams. Abort-path diagnostics use
+//                       std::fprintf(stderr, ...) which stays signal-safe
+//                       and unbuffered-by-intent.
+//   no-naked-alloc      dock/ steady-state scorer files (score.*, grid.*).
+//                       malloc/calloc/realloc and array new[] would
+//                       silently undo PR 2's allocation-free evaluate()
+//                       guarantee; storage belongs in ScorerScratch or in
+//                       containers sized at setup.
+//   pragma-once         every .hpp/.h anywhere must contain #pragma once.
+//   no-unordered-in-stages
+//                       core/stages/ only. unordered_map/unordered_set
+//                       iteration order is libstdc++-version- and
+//                       seed-dependent; a merge() that folds one into
+//                       ordered campaign state is a science_fingerprint()
+//                       hazard. Use std::map/std::vector or sort first —
+//                       the rule bans the tokens outright so reviewers see
+//                       an explicit suppression where one is truly safe.
+//
+// Suppressions:
+//   // lint:allow(rule-id)            this line (or a /*...*/ starting on it)
+//   // lint:allow-next-line(rule-id)  the following line
+//   // lint:allow-file(rule-id)       whole file
+// Multiple ids separate with commas: lint:allow(no-std-rand,pragma-once).
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace impeccable::lint {
+
+/// One finding. `file` is the path as reported (relative to the scanned
+/// root for tree walks, verbatim for direct lint_source calls).
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Directory-class flags derived from a repo-relative path; rules consult
+/// these instead of re-parsing paths.
+struct FileClass {
+  bool in_src = false;          ///< under src/ (library code)
+  bool is_header = false;       ///< .hpp or .h
+  bool in_dock_scorer = false;  ///< dock/score.* or dock/grid.*
+  bool in_stages = false;       ///< under core/stages/
+};
+
+/// Classify a repo-relative path ("src/impeccable/dock/score.cpp").
+FileClass classify(std::string_view rel_path);
+
+/// Lint one in-memory translation unit. `display_path` is used verbatim in
+/// diagnostics; `cls` controls which rules apply.
+std::vector<Diagnostic> lint_source(std::string_view text,
+                                    const FileClass& cls,
+                                    std::string_view display_path);
+
+/// Lint one on-disk file (reads it, classifies by `rel_path`).
+std::vector<Diagnostic> lint_file(const std::filesystem::path& path,
+                                  std::string_view rel_path);
+
+/// Walk src/, tests/, bench/, examples/, and tools/ under `root` and lint
+/// every .cpp/.hpp/.h/.cc. Diagnostics come back sorted by (file, line).
+std::vector<Diagnostic> lint_tree(const std::filesystem::path& root);
+
+/// Render "file:line: [rule] message" lines; returns diagnostics.size().
+std::size_t print(const std::vector<Diagnostic>& diags, std::string& out);
+
+}  // namespace impeccable::lint

@@ -1,0 +1,25 @@
+// imp_lint driver: `imp_lint <repo-root>` walks src/, tests/, bench/,
+// examples/, tools/ and exits 1 if any project rule fires. Registered as the
+// `lint`-labelled ctest so the tree stays clean by construction.
+
+#include <cstdio>
+#include <string>
+
+#include "lint.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: imp_lint <repo-root>\n");
+    return 2;
+  }
+  const auto diags = impeccable::lint::lint_tree(argv[1]);
+  std::string rendered;
+  impeccable::lint::print(diags, rendered);
+  if (!diags.empty()) {
+    std::fputs(rendered.c_str(), stderr);
+    std::fprintf(stderr, "imp_lint: %zu finding(s)\n", diags.size());
+    return 1;
+  }
+  std::fprintf(stderr, "imp_lint: clean\n");
+  return 0;
+}
