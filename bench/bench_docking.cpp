@@ -8,6 +8,11 @@
 //   2. Full dock() runs on seeded fixtures, recording best energies and
 //      ScoringFunction evaluation counts — identical numbers before and after
 //      a scorer change prove the search trajectories are unchanged.
+//   3. Batched-vs-scalar sweep: poses/sec through evaluate_batch /
+//      evaluate_with_gradient_batch at batch sizes {1, 4, 8, 16} per ligand,
+//      with speedup relative to the scalar kernels (the BENCH_pr6.json
+//      headline: the SoA lane kernels should be worth 2–4x single-thread at
+//      batch >= 8).
 //
 // Usage: bench_docking [out.json]   (JSON also echoed to stdout)
 
@@ -24,6 +29,7 @@
 #include "impeccable/common/thread_pool.hpp"
 #include "impeccable/dock/engine.hpp"
 #include "impeccable/dock/receptor.hpp"
+#include "impeccable/dock/score_batch.hpp"
 
 namespace chem = impeccable::chem;
 namespace dock = impeccable::dock;
@@ -94,6 +100,72 @@ EvalRates measure_rates(const dock::AffinityGrid& grid, const dock::Ligand& lig,
   return out;
 }
 
+/// Poses/sec through the batched SoA kernels at one batch size, over the
+/// same 64-pose working set measure_rates uses for the scalar kernels.
+EvalRates measure_batch_rates(const dock::AffinityGrid& grid,
+                              const dock::Ligand& lig, int batch,
+                              double min_seconds) {
+  const dock::ScoringFunction score(grid, lig);
+  Rng rng(0xbe9c);
+  std::vector<dock::Pose> poses;
+  for (int i = 0; i < 64; ++i)
+    poses.push_back(lig.random_pose(grid.pocket_center, 3.0, rng));
+
+  dock::BatchScratch scratch;
+  double energies[dock::kMaxBatchPoses];
+  std::vector<dock::PoseGradient> grads(static_cast<std::size_t>(batch));
+
+  auto fill = [&](std::size_t at) {
+    dock::PoseBatch pb;
+    for (int l = 0; l < batch; ++l)
+      pb.push(poses[at + static_cast<std::size_t>(l)]);
+    return pb;
+  };
+
+  EvalRates out;
+  {
+    volatile double sink = 0.0;
+    const dock::PoseBatch warm = fill(0);
+    score.evaluate_batch(warm, scratch, energies);
+    sink = sink + energies[0];
+    std::uint64_t n = 0;
+    const double t0 = now_sec();
+    double t1 = t0;
+    while (t1 - t0 < min_seconds) {
+      for (std::size_t at = 0; at + static_cast<std::size_t>(batch) <= poses.size();
+           at += static_cast<std::size_t>(batch)) {
+        const dock::PoseBatch pb = fill(at);
+        score.evaluate_batch(pb, scratch, energies);
+        sink = sink + energies[0];
+        n += static_cast<std::uint64_t>(batch);
+      }
+      t1 = now_sec();
+    }
+    out.plain = static_cast<double>(n) / (t1 - t0);
+  }
+  {
+    volatile double sink = 0.0;
+    const dock::PoseBatch warm = fill(0);
+    score.evaluate_with_gradient_batch(warm, scratch, energies, grads.data());
+    sink = sink + energies[0];
+    std::uint64_t n = 0;
+    const double t0 = now_sec();
+    double t1 = t0;
+    while (t1 - t0 < min_seconds) {
+      for (std::size_t at = 0; at + static_cast<std::size_t>(batch) <= poses.size();
+           at += static_cast<std::size_t>(batch)) {
+        const dock::PoseBatch pb = fill(at);
+        score.evaluate_with_gradient_batch(pb, scratch, energies, grads.data());
+        sink = sink + energies[0];
+        n += static_cast<std::uint64_t>(batch);
+      }
+      t1 = now_sec();
+    }
+    out.gradient = static_cast<double>(n) / (t1 - t0);
+  }
+  return out;
+}
+
 /// Aggregate evals/sec with one scorer per pool worker (dock()'s pattern).
 double measure_pool_rate(const dock::AffinityGrid& grid, const dock::Ligand& lig,
                          std::size_t workers, double min_seconds) {
@@ -157,7 +229,20 @@ int main(int argc, char** argv) {
          << ", \"grad_evals_per_sec\": " << rates.gradient
          << ", \"pool_evals_per_sec\": " << pool_rate
          << ",\n     \"dock_best_score\": " << res.best_score
-         << ", \"dock_evaluations\": " << res.evaluations << "}";
+         << ", \"dock_evaluations\": " << res.evaluations
+         << ",\n     \"batch_sweep\": [";
+    bool first_b = true;
+    for (int batch : {1, 4, 8, 16}) {
+      const EvalRates br = measure_batch_rates(*grid, lig, batch, min_seconds);
+      if (!first_b) json << ",";
+      first_b = false;
+      json << "\n       {\"batch\": " << batch
+           << ", \"poses_per_sec\": " << br.plain
+           << ", \"grad_poses_per_sec\": " << br.gradient
+           << ",\n        \"speedup\": " << br.plain / rates.plain
+           << ", \"grad_speedup\": " << br.gradient / rates.gradient << "}";
+    }
+    json << "\n     ]}";
   }
   json << "\n  ]\n}\n";
 

@@ -6,10 +6,15 @@
 #      RNG-ownership auditor and IMP_DCHECK bounds checks run live): full
 #      suite;
 #   3. ubsan preset (-fsanitize=undefined, errors fatal): full suite;
-#   4. tsan preset: the concurrency-sensitive subsets (obs + graph labels).
+#   4. tsan preset: the concurrency-sensitive subsets (obs + graph labels);
+#   5. native preset (-march=native Release): the `dock`-labelled suite —
+#      the batched SIMD scorer's bitwise-equivalence gate must hold under
+#      the widest vectorization the host supports, not just the portable
+#      default codegen.
 #
 # Usage: scripts/check.sh [-j N] [-q]
-#   -q  quick: default-preset build, tests, and lint only (skip sanitizers)
+#   -q  quick: default-preset build, tests, and lint only (skip sanitizers
+#       and the native lane)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,5 +66,12 @@ ctest --preset tsan-obs -j "$JOBS"
 
 echo "== tsan: graph-labeled tests =="
 ctest --preset tsan-graph -j "$JOBS"
+
+echo "== configure + build (native preset: -march=native Release) =="
+cmake --preset native -DIMPECCABLE_WERROR=ON
+cmake --build --preset native -j "$JOBS"
+
+echo "== native: dock-labeled tests (batched-vs-scalar equivalence) =="
+ctest --preset native-dock -j "$JOBS"
 
 echo "== all checks passed =="

@@ -138,6 +138,187 @@ void GridField::sample_pair_values(const Vec3& p, const GridField& other,
   other_value = c.wall + other.tri_value(c);
 }
 
+// ------------------------------------------------------- batched sampling
+//
+// The lane kernels below reproduce locate() / tri_value() / tri_sample()
+// expression for expression — with the clamp branches rewritten as
+// max()-based forms whose inactive terms are exact zeros — so every lane
+// is bit-identical to the corresponding scalar sample. Loops over lanes
+// carry no cross-lane dependency and are annotated for SIMD codegen.
+
+namespace {
+
+/// Hard lane bound mirrored from score_batch.hpp (grid.hpp stays lean).
+constexpr int kMaxLanes = 16;
+
+/// Stack-resident per-lane cell state: resolved corner, weights, wall.
+struct BatchCells {
+  std::size_t base[kMaxLanes];
+  double fx[kMaxLanes], fy[kMaxLanes], fz[kMaxLanes];
+  double wall[kMaxLanes];
+  double wgx[kMaxLanes], wgy[kMaxLanes], wgz[kMaxLanes];
+};
+
+void locate_lanes(const Vec3& origin, double spacing, int nx, int ny, int nz,
+                  const double* xs, const double* ys, const double* zs,
+                  int lanes, BatchCells& c) {
+  const double max_gx = static_cast<double>(nx) - 1.0 - 1e-9;
+  const double max_gy = static_cast<double>(ny) - 1.0 - 1e-9;
+  const double max_gz = static_cast<double>(nz) - 1.0 - 1e-9;
+  constexpr double kW = GridField::kWallStiffness;
+#pragma omp simd
+  for (int l = 0; l < lanes; ++l) {
+    const double gx = (xs[l] - origin.x) / spacing;
+    const double gy = (ys[l] - origin.y) / spacing;
+    const double gz = (zs[l] - origin.z) / spacing;
+
+    // Branchless clamp: for each axis at most one of the low/high excess
+    // distances is nonzero; the other contributes an exact 0.0 to the wall
+    // sum and gradient, matching the scalar if/else-if bit for bit.
+    const double dlox = std::max(-gx, 0.0) * spacing;
+    const double dhix = std::max(gx - max_gx, 0.0) * spacing;
+    const double dloy = std::max(-gy, 0.0) * spacing;
+    const double dhiy = std::max(gy - max_gy, 0.0) * spacing;
+    const double dloz = std::max(-gz, 0.0) * spacing;
+    const double dhiz = std::max(gz - max_gz, 0.0) * spacing;
+
+    double wall = 0.0;
+    wall += kW * dlox * dlox;
+    wall += kW * dhix * dhix;
+    wall += kW * dloy * dloy;
+    wall += kW * dhiy * dhiy;
+    wall += kW * dloz * dloz;
+    wall += kW * dhiz * dhiz;
+    c.wall[l] = wall;
+    c.wgx[l] = -2.0 * kW * dlox + 2.0 * kW * dhix;
+    c.wgy[l] = -2.0 * kW * dloy + 2.0 * kW * dhiy;
+    c.wgz[l] = -2.0 * kW * dloz + 2.0 * kW * dhiz;
+
+    const double cgx = std::min(std::max(gx, 0.0), max_gx);
+    const double cgy = std::min(std::max(gy, 0.0), max_gy);
+    const double cgz = std::min(std::max(gz, 0.0), max_gz);
+    const int ix = std::min(nx - 2, static_cast<int>(cgx));
+    const int iy = std::min(ny - 2, static_cast<int>(cgy));
+    const int iz = std::min(nz - 2, static_cast<int>(cgz));
+    c.base[l] = (static_cast<std::size_t>(iz) * static_cast<std::size_t>(ny) +
+                 static_cast<std::size_t>(iy)) *
+                    static_cast<std::size_t>(nx) +
+                static_cast<std::size_t>(ix);
+    c.fx[l] = cgx - ix;
+    c.fy[l] = cgy - iy;
+    c.fz[l] = cgz - iz;
+  }
+}
+
+/// Corner values of one field for every lane, gathered into lane planes.
+struct BatchCorners {
+  double c000[kMaxLanes], c100[kMaxLanes], c010[kMaxLanes], c110[kMaxLanes];
+  double c001[kMaxLanes], c101[kMaxLanes], c011[kMaxLanes], c111[kMaxLanes];
+};
+
+void gather_lanes(const double* data, int nx, int ny, const BatchCells& c,
+                  int lanes, BatchCorners& k) {
+  const std::size_t sy = static_cast<std::size_t>(nx);
+  const std::size_t sz = static_cast<std::size_t>(nx) * ny;
+  for (int l = 0; l < lanes; ++l) {
+    const double* b = data + c.base[l];
+    k.c000[l] = b[0];
+    k.c100[l] = b[1];
+    k.c010[l] = b[sy];
+    k.c110[l] = b[sy + 1];
+    k.c001[l] = b[sz];
+    k.c101[l] = b[sz + 1];
+    k.c011[l] = b[sz + sy];
+    k.c111[l] = b[sz + sy + 1];
+  }
+}
+
+void tri_values_lanes(const BatchCells& c, const BatchCorners& k, int lanes,
+                      double* vals) {
+#pragma omp simd
+  for (int l = 0; l < lanes; ++l) {
+    const double fx = c.fx[l], fy = c.fy[l], fz = c.fz[l];
+    const double c00 = k.c000[l] * (1 - fx) + k.c100[l] * fx;
+    const double c10 = k.c010[l] * (1 - fx) + k.c110[l] * fx;
+    const double c01 = k.c001[l] * (1 - fx) + k.c101[l] * fx;
+    const double c11 = k.c011[l] * (1 - fx) + k.c111[l] * fx;
+    const double c0 = c00 * (1 - fy) + c10 * fy;
+    const double c1 = c01 * (1 - fy) + c11 * fy;
+    vals[l] = c.wall[l] + (c0 * (1 - fz) + c1 * fz);
+  }
+}
+
+void tri_samples_lanes(const BatchCells& c, const BatchCorners& k,
+                       double spacing, int lanes, double* vals, double* gx,
+                       double* gy, double* gz) {
+#pragma omp simd
+  for (int l = 0; l < lanes; ++l) {
+    const double fx = c.fx[l], fy = c.fy[l], fz = c.fz[l];
+    const double c00 = k.c000[l] * (1 - fx) + k.c100[l] * fx;
+    const double c10 = k.c010[l] * (1 - fx) + k.c110[l] * fx;
+    const double c01 = k.c001[l] * (1 - fx) + k.c101[l] * fx;
+    const double c11 = k.c011[l] * (1 - fx) + k.c111[l] * fx;
+    const double c0 = c00 * (1 - fy) + c10 * fy;
+    const double c1 = c01 * (1 - fy) + c11 * fy;
+    vals[l] = c.wall[l] + (c0 * (1 - fz) + c1 * fz);
+
+    const double dx =
+        ((k.c100[l] - k.c000[l]) * (1 - fy) + (k.c110[l] - k.c010[l]) * fy) *
+            (1 - fz) +
+        ((k.c101[l] - k.c001[l]) * (1 - fy) + (k.c111[l] - k.c011[l]) * fy) *
+            fz;
+    const double dy =
+        ((k.c010[l] - k.c000[l]) * (1 - fx) + (k.c110[l] - k.c100[l]) * fx) *
+            (1 - fz) +
+        ((k.c011[l] - k.c001[l]) * (1 - fx) + (k.c111[l] - k.c101[l]) * fx) *
+            fz;
+    const double dz = (c01 - c00) * (1 - fy) + (c11 - c10) * fy;
+    gx[l] = c.wgx[l] + dx / spacing;
+    gy[l] = c.wgy[l] + dy / spacing;
+    gz[l] = c.wgz[l] + dz / spacing;
+  }
+}
+
+}  // namespace
+
+void GridField::sample_pair_values_batch(const double* xs, const double* ys,
+                                         const double* zs, int lanes,
+                                         const GridField& other,
+                                         double* self_vals,
+                                         double* other_vals) const {
+  assert(other.nx_ == nx_ && other.ny_ == ny_ && other.nz_ == nz_ &&
+         other.spacing_ == spacing_);
+  assert(lanes > 0 && lanes <= kMaxLanes);
+  BatchCells c;
+  locate_lanes(origin_, spacing_, nx_, ny_, nz_, xs, ys, zs, lanes, c);
+  BatchCorners k;
+  gather_lanes(data_.data(), nx_, ny_, c, lanes, k);
+  tri_values_lanes(c, k, lanes, self_vals);
+  gather_lanes(other.data_.data(), nx_, ny_, c, lanes, k);
+  tri_values_lanes(c, k, lanes, other_vals);
+}
+
+void GridField::sample_pair_batch(const double* xs, const double* ys,
+                                  const double* zs, int lanes,
+                                  const GridField& other, double* self_vals,
+                                  double* self_gx, double* self_gy,
+                                  double* self_gz, double* other_vals,
+                                  double* other_gx, double* other_gy,
+                                  double* other_gz) const {
+  assert(other.nx_ == nx_ && other.ny_ == ny_ && other.nz_ == nz_ &&
+         other.spacing_ == spacing_);
+  assert(lanes > 0 && lanes <= kMaxLanes);
+  BatchCells c;
+  locate_lanes(origin_, spacing_, nx_, ny_, nz_, xs, ys, zs, lanes, c);
+  BatchCorners k;
+  gather_lanes(data_.data(), nx_, ny_, c, lanes, k);
+  tri_samples_lanes(c, k, spacing_, lanes, self_vals, self_gx, self_gy,
+                    self_gz);
+  gather_lanes(other.data_.data(), nx_, ny_, c, lanes, k);
+  tri_samples_lanes(c, k, spacing_, lanes, other_vals, other_gx, other_gy,
+                    other_gz);
+}
+
 AffinityGrid::AffinityGrid(Vec3 origin, double spacing, int nx, int ny, int nz)
     : electrostatic(origin, spacing, nx, ny, nz) {
   probe_maps.reserve(kProbeCount);

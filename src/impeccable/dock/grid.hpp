@@ -71,6 +71,26 @@ class GridField {
   void sample_pair_values(const common::Vec3& p, const GridField& other,
                           double& self_value, double& other_value) const;
 
+  /// Batched value-only fused sampling: one atom across `lanes` pose lanes.
+  /// Inputs are lane arrays (xs[l], ys[l], zs[l] is lane l's query point);
+  /// outputs likewise. The cell locate and trilinear weights are computed
+  /// in a vectorizable lane loop with branchless clamping that reproduces
+  /// sample_pair_values bit for bit per lane. `lanes` ≤ kMaxBatchPoses
+  /// (see score_batch.hpp); geometry constraint on `other` as sample_pair.
+  void sample_pair_values_batch(const double* xs, const double* ys,
+                                const double* zs, int lanes,
+                                const GridField& other, double* self_vals,
+                                double* other_vals) const;
+
+  /// Batched fused sampling with gradients: values plus the spatial
+  /// gradient planes of both fields, matching sample_pair bit for bit per
+  /// lane. Output pointers are lane arrays of length `lanes`.
+  void sample_pair_batch(const double* xs, const double* ys, const double* zs,
+                         int lanes, const GridField& other, double* self_vals,
+                         double* self_gx, double* self_gy, double* self_gz,
+                         double* other_vals, double* other_gx,
+                         double* other_gy, double* other_gz) const;
+
   common::Vec3 origin() const { return origin_; }
   double spacing() const { return spacing_; }
   int nx() const { return nx_; }

@@ -1,6 +1,7 @@
 #include "impeccable/dock/ligand.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <queue>
 #include <stdexcept>
@@ -269,6 +270,150 @@ void Ligand::build_coords_into(const Pose& pose, Vec3* out) const {
                   r10 * v.x + r11 * v.y + r12 * v.z,
                   r20 * v.x + r21 * v.y + r22 * v.z} +
              pose.translation;
+  }
+}
+
+void Ligand::build_coords_batch(const Pose* const* poses, int count, int lanes,
+                                double* xs, double* ys, double* zs) const {
+  // Mirrors kMaxBatchPoses (score_batch.hpp); this header stays scorer-free.
+  constexpr int kML = 16;
+  assert(count <= lanes && lanes <= kML);
+  const std::size_t n = ref_coords_.size();
+  const std::size_t L = static_cast<std::size_t>(lanes);
+
+  // Broadcast the centered reference conformation into the lane planes.
+  // Padding lanes start at zero and stay inert through both stages below
+  // (skip selects, zero matrices), so downstream kernels read exact zeros.
+  for (std::size_t a = 0; a < n; ++a) {
+    const Vec3 r = ref_coords_[a];
+    double* xr = xs + a * L;
+    double* yr = ys + a * L;
+    double* zr = zs + a * L;
+    for (int l = 0; l < count; ++l) {
+      xr[l] = r.x;
+      yr[l] = r.y;
+      zr[l] = r.z;
+    }
+    for (int l = count; l < lanes; ++l) {
+      xr[l] = 0.0;
+      yr[l] = 0.0;
+      zr[l] = 0.0;
+    }
+  }
+
+  // Torsion stage, lane-parallel: per torsion, resolve each lane's axis and
+  // rotation scalar-side (sin/cos must stay scalar libm calls — vector math
+  // libraries are not bit-exact), then rotate the moving set across lanes.
+  // Every expression mirrors build_coords_into / rotate_about_axis term for
+  // term; this translation unit is compiled with FP contraction off (see
+  // dock/CMakeLists.txt), so each lane rounds exactly like the scalar path.
+  double ax[kML], ay[kML], az[kML], pbx[kML], pby[kML], pbz[kML];
+  double cc[kML], ss[kML], omc[kML];
+  bool skip[kML];
+  for (std::size_t t = 0; t < torsions_.size(); ++t) {
+    const Torsion& tor = torsions_[t];
+    const std::size_t oa = static_cast<std::size_t>(tor.axis_a) * L;
+    const std::size_t ob = static_cast<std::size_t>(tor.axis_b) * L;
+    // Rotation angles scalar-side: sin/cos stay libm calls per active lane.
+    bool any = false;
+    for (int l = 0; l < lanes; ++l) {
+      const double angle = l < count ? poses[l]->torsions[t] : 0.0;
+      if (std::abs(angle) < 1e-12) {
+        skip[l] = true;
+        cc[l] = 1.0; ss[l] = 0.0; omc[l] = 0.0;
+        continue;
+      }
+      any = true;
+      skip[l] = false;
+      cc[l] = std::cos(angle);
+      ss[l] = std::sin(angle);
+      omc[l] = 1.0 - cc[l];
+    }
+    if (!any) continue;
+    // Per-lane rotation axis, vectorized: sqrt and division are correctly
+    // rounded in vector form, so this matches (pb - pa).normalized() bit for
+    // bit. Skipped lanes compute a discarded (finite) axis — the guarded
+    // denominator keeps even degenerate lanes free of division by zero.
+#pragma omp simd
+    for (int l = 0; l < lanes; ++l) {
+      const double dx = xs[ob + l] - xs[oa + l];
+      const double dy = ys[ob + l] - ys[oa + l];
+      const double dz = zs[ob + l] - zs[oa + l];
+      const double nrm = std::sqrt(dx * dx + dy * dy + dz * dz);
+      const bool degenerate = nrm <= 0.0;
+      const double safe = degenerate ? 1.0 : nrm;
+      ax[l] = degenerate ? 1.0 : dx / safe;
+      ay[l] = degenerate ? 0.0 : dy / safe;
+      az[l] = degenerate ? 0.0 : dz / safe;
+      pbx[l] = xs[ob + l];
+      pby[l] = ys[ob + l];
+      pbz[l] = zs[ob + l];
+    }
+    for (int idx : tor.moving) {
+      const std::size_t om = static_cast<std::size_t>(idx) * L;
+      double* __restrict X = xs + om;
+      double* __restrict Y = ys + om;
+      double* __restrict Z = zs + om;
+#pragma omp simd
+      for (int l = 0; l < lanes; ++l) {
+        // p - pb, then Rodrigues: v*c + (axis x v)*s + axis*((axis . v)*(1-c)).
+        const double vx = X[l] - pbx[l];
+        const double vy = Y[l] - pby[l];
+        const double vz = Z[l] - pbz[l];
+        const double cx = ay[l] * vz - az[l] * vy;
+        const double cy = az[l] * vx - ax[l] * vz;
+        const double cz = ax[l] * vy - ay[l] * vx;
+        const double w = (ax[l] * vx + ay[l] * vy + az[l] * vz) * omc[l];
+        const double rx = vx * cc[l] + cx * ss[l] + ax[l] * w;
+        const double ry = vy * cc[l] + cy * ss[l] + ay[l] * w;
+        const double rz = vz * cc[l] + cz * ss[l] + az[l] * w;
+        X[l] = skip[l] ? X[l] : pbx[l] + rx;
+        Y[l] = skip[l] ? Y[l] : pby[l] + ry;
+        Z[l] = skip[l] ? Z[l] : pbz[l] + rz;
+      }
+    }
+  }
+
+  // Rigid placement, lane-parallel: per-lane rotation matrix from the pose
+  // quaternion (expressions mirror build_coords_into), then one vectorized
+  // pass over the planes. Padding lanes get the zero matrix and zero
+  // translation, leaving their planes at exact zero.
+  double r00[kML], r01[kML], r02[kML], r10[kML], r11[kML], r12[kML];
+  double r20[kML], r21[kML], r22[kML], tx[kML], ty[kML], tz[kML];
+  for (int l = 0; l < count; ++l) {
+    const Pose& pose = *poses[l];
+    const double w = pose.qw, x = pose.qx, y = pose.qy, z = pose.qz;
+    r00[l] = w * w + x * x - y * y - z * z;
+    r01[l] = 2 * (x * y - w * z);
+    r02[l] = 2 * (x * z + w * y);
+    r10[l] = 2 * (x * y + w * z);
+    r11[l] = w * w - x * x + y * y - z * z;
+    r12[l] = 2 * (y * z - w * x);
+    r20[l] = 2 * (x * z - w * y);
+    r21[l] = 2 * (y * z + w * x);
+    r22[l] = w * w - x * x - y * y + z * z;
+    tx[l] = pose.translation.x;
+    ty[l] = pose.translation.y;
+    tz[l] = pose.translation.z;
+  }
+  for (int l = count; l < lanes; ++l) {
+    r00[l] = r01[l] = r02[l] = 0.0;
+    r10[l] = r11[l] = r12[l] = 0.0;
+    r20[l] = r21[l] = r22[l] = 0.0;
+    tx[l] = ty[l] = tz[l] = 0.0;
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::size_t off = a * L;
+    double* __restrict X = xs + off;
+    double* __restrict Y = ys + off;
+    double* __restrict Z = zs + off;
+#pragma omp simd
+    for (int l = 0; l < lanes; ++l) {
+      const double vx = X[l], vy = Y[l], vz = Z[l];
+      X[l] = r00[l] * vx + r01[l] * vy + r02[l] * vz + tx[l];
+      Y[l] = r10[l] * vx + r11[l] * vy + r12[l] * vz + ty[l];
+      Z[l] = r20[l] * vx + r21[l] * vy + r22[l] * vz + tz[l];
+    }
   }
 }
 

@@ -89,6 +89,17 @@ class Ligand {
   /// arena in the scoring hot path).
   void build_coords_into(const Pose& pose, common::Vec3* out) const;
 
+  /// Batched build for the SoA scoring path: builds coordinates for `count`
+  /// poses directly in lane-planar arrays xs/ys/zs of stride `lanes`
+  /// (xs[a * lanes + l] is atom a of pose l) — the torsion stage and the
+  /// rigid placement both run as lane loops over the planes. Padding lanes
+  /// (count..lanes) are zero-filled so downstream SIMD kernels read defined
+  /// values. Every expression mirrors build_coords_into term for term and
+  /// ligand.cpp is compiled with FP contraction off, so lane coordinates
+  /// are bit-identical to the scalar path. Allocation-free.
+  void build_coords_batch(const Pose* const* poses, int count, int lanes,
+                          double* xs, double* ys, double* zs) const;
+
   /// An identity pose centered at `center`.
   Pose identity_pose(const common::Vec3& center) const;
 

@@ -89,6 +89,12 @@ double ScoringFunction::score_coords(const std::vector<Vec3>& coords,
   return energy_and_forces(coords.data(), coords.size(), forces->data());
 }
 
+double ScoringFunction::score_coords(const std::vector<Vec3>& coords,
+                                     ScorerScratch& scratch) const {
+  scratch.forces.assign(coords.size(), Vec3{});
+  return energy_and_forces(coords.data(), coords.size(), scratch.forces.data());
+}
+
 double ScoringFunction::evaluate(const Pose& pose, std::vector<Vec3>* coords) const {
   return evaluate(pose, scratch_, coords);
 }
@@ -118,7 +124,14 @@ double ScoringFunction::evaluate_with_gradient(const Pose& pose,
   std::vector<Vec3>& g = scratch.forces;
   g.assign(n, Vec3{});
   const double energy = energy_and_forces(coords.data(), n, g.data());
+  reduce_pose_gradient(coords.data(), g.data(), n, pose, grad);
+  return energy;
+}
 
+void ScoringFunction::reduce_pose_gradient(const Vec3* coords,
+                                           const Vec3* forces, std::size_t n,
+                                           const Pose& pose,
+                                           PoseGradient& grad) const {
   grad.translation = Vec3{};
   grad.torque = Vec3{};
   grad.torsions.assign(ligand_.torsion_count(), 0.0);
@@ -127,8 +140,8 @@ double ScoringFunction::evaluate_with_gradient(const Pose& pose,
   // quaternion, which pivots the rigid body about its translation point; the
   // torque must therefore be taken about pose.translation.
   for (std::size_t i = 0; i < n; ++i) {
-    grad.translation += g[i];
-    grad.torque += (coords[i] - pose.translation).cross(g[i]);
+    grad.translation += forces[i];
+    grad.torque += (coords[i] - pose.translation).cross(forces[i]);
   }
 
   const auto& torsions = ligand_.torsions();
@@ -138,10 +151,10 @@ double ScoringFunction::evaluate_with_gradient(const Pose& pose,
     const Vec3 axis = (pb - pa).normalized();
     Vec3 acc;
     for (int idx : torsions[t].moving)
-      acc += (coords[static_cast<std::size_t>(idx)] - pb).cross(g[static_cast<std::size_t>(idx)]);
+      acc += (coords[static_cast<std::size_t>(idx)] - pb)
+                 .cross(forces[static_cast<std::size_t>(idx)]);
     grad.torsions[t] = axis.dot(acc);
   }
-  return energy;
 }
 
 }  // namespace impeccable::dock

@@ -19,6 +19,9 @@
 
 namespace impeccable::dock {
 
+struct PoseBatch;     // score_batch.hpp
+struct BatchScratch;  // score_batch.hpp
+
 /// Reusable scratch arena for the scoring hot loop. One per search-run (LGA
 /// run, local-search invocation); sized lazily on first use, then steady-state
 /// evaluations perform no heap allocation.
@@ -56,10 +59,34 @@ class ScoringFunction {
 
   /// Energy (and per-atom Cartesian forces, if requested) at explicit atom
   /// coordinates — the pose-independent inner kernel, exposed for analysis
-  /// and boundary tests. `coords` must hold atom_count() entries; a non-null
-  /// `forces` is resized to match.
+  /// and boundary tests. `coords` must hold atom_count() entries. A non-null
+  /// `forces` is resized to match, which may allocate on first use; the
+  /// scratch overload below is the allocation-free form.
   double score_coords(const std::vector<common::Vec3>& coords,
                       std::vector<common::Vec3>* forces = nullptr) const;
+
+  /// Allocation-free score_coords: forces are accumulated into
+  /// `scratch.forces` (pre-sized from the arena, no caller-side vector
+  /// growth). Steady-state calls perform zero heap allocations.
+  double score_coords(const std::vector<common::Vec3>& coords,
+                      ScorerScratch& scratch) const;
+
+  /// Batched energy-only evaluation: scores all poses of `batch` at once
+  /// through the SoA lane kernels (see score_batch.hpp), writing
+  /// batch.count energies. Each lane's score is bit-identical to the
+  /// scalar evaluate() of the same pose; the evaluation counter advances
+  /// by batch.count (one work unit per pose, not per batch). Steady-state
+  /// calls with a warmed `scratch` perform zero heap allocations.
+  void evaluate_batch(const PoseBatch& batch, BatchScratch& scratch,
+                      double* energies) const;
+
+  /// Batched energy + pose-space gradients: lane-identical to
+  /// evaluate_with_gradient per pose. `energies` and `grads` must hold
+  /// batch.count slots; grads[l].torsions is sized in place (allocation-free
+  /// once warmed, like the scalar path).
+  void evaluate_with_gradient_batch(const PoseBatch& batch,
+                                    BatchScratch& scratch, double* energies,
+                                    PoseGradient* grads) const;
 
   /// Number of evaluate* calls since construction (work units).
   std::uint64_t evaluations() const { return evals_; }
@@ -68,6 +95,17 @@ class ScoringFunction {
   const AffinityGrid& grid() const { return grid_; }
 
  private:
+  /// Pose-space reduction: per-atom Cartesian forces -> translation force,
+  /// torque about pose.translation, torsion-axis components. Shared by the
+  /// scalar and batched gradient paths and deliberately kept out of line:
+  /// inlining it into differently-vectorized callers lets the compiler
+  /// contract the cross-product FMAs differently per call site, which would
+  /// break the bitwise batched-vs-scalar identity under -march=native.
+  [[gnu::noinline]] void reduce_pose_gradient(const common::Vec3* coords,
+                                              const common::Vec3* forces,
+                                              std::size_t n, const Pose& pose,
+                                              PoseGradient& grad) const;
+
   /// Energy-only kernel (no gradient math) at explicit coordinates.
   double energy_only(const common::Vec3* coords, std::size_t n) const;
 

@@ -1,7 +1,11 @@
 #include "impeccable/dock/search.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+
+#include "impeccable/dock/score_batch.hpp"
+#include "impeccable/obs/recorder.hpp"
 
 namespace impeccable::dock {
 
@@ -26,6 +30,38 @@ void perturb_into(const Pose& base, const std::vector<double>& dev, Pose& p) {
   p.rotate_by(Vec3{dev[3], dev[4], dev[5]});
   for (std::size_t t = 0; t < p.torsions.size(); ++t)
     p.torsions[t] = wrap_angle(p.torsions[t] + dev[6 + t]);
+}
+
+/// One ADADELTA update: flatten the pose gradient into gene space, advance
+/// the squared-gradient/squared-update EMAs, and apply the step to `cur`.
+/// Shared by the scalar and lock-step batched local searches and kept out of
+/// line deliberately — inlining it into differently-shaped loops would let
+/// the compiler contract the FMAs differently per call site and break the
+/// bitwise batched-vs-scalar trajectory identity under -march=native.
+[[gnu::noinline]] void adadelta_step(const PoseGradient& grad,
+                                     const AdadeltaOptions& opts, std::size_t n,
+                                     double* g, double* dx, double* eg2,
+                                     double* ex2, Pose& cur) {
+  g[0] = grad.translation.x * opts.trans_scale;
+  g[1] = grad.translation.y * opts.trans_scale;
+  g[2] = grad.translation.z * opts.trans_scale;
+  g[3] = grad.torque.x * opts.rot_scale;
+  g[4] = grad.torque.y * opts.rot_scale;
+  g[5] = grad.torque.z * opts.rot_scale;
+  for (std::size_t t = 0; t < cur.torsions.size(); ++t)
+    g[6 + t] = grad.torsions[t] * opts.torsion_scale;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    eg2[k] = opts.rho * eg2[k] + (1 - opts.rho) * g[k] * g[k];
+    dx[k] = -std::sqrt(ex2[k] + opts.epsilon) /
+            std::sqrt(eg2[k] + opts.epsilon) * g[k];
+    ex2[k] = opts.rho * ex2[k] + (1 - opts.rho) * dx[k] * dx[k];
+  }
+
+  cur.translation += Vec3{dx[0], dx[1], dx[2]};
+  cur.rotate_by(Vec3{dx[3], dx[4], dx[5]});
+  for (std::size_t t = 0; t < cur.torsions.size(); ++t)
+    cur.torsions[t] = wrap_angle(cur.torsions[t] + dx[6 + t]);
 }
 
 }  // namespace
@@ -111,27 +147,8 @@ LocalSearchResult adadelta(const ScoringFunction& score, const Pose& start,
 
   std::vector<double> g(n), dx(n);
   for (int it = 0; it < opts.max_iterations; ++it) {
-    // Flatten the gradient into gene space with per-block scales.
-    g[0] = grad.translation.x * opts.trans_scale;
-    g[1] = grad.translation.y * opts.trans_scale;
-    g[2] = grad.translation.z * opts.trans_scale;
-    g[3] = grad.torque.x * opts.rot_scale;
-    g[4] = grad.torque.y * opts.rot_scale;
-    g[5] = grad.torque.z * opts.rot_scale;
-    for (std::size_t t = 0; t < cur.torsions.size(); ++t)
-      g[6 + t] = grad.torsions[t] * opts.torsion_scale;
-
-    for (std::size_t k = 0; k < n; ++k) {
-      eg2[k] = opts.rho * eg2[k] + (1 - opts.rho) * g[k] * g[k];
-      dx[k] = -std::sqrt(ex2[k] + opts.epsilon) / std::sqrt(eg2[k] + opts.epsilon) * g[k];
-      ex2[k] = opts.rho * ex2[k] + (1 - opts.rho) * dx[k] * dx[k];
-    }
-
-    cur.translation += Vec3{dx[0], dx[1], dx[2]};
-    cur.rotate_by(Vec3{dx[3], dx[4], dx[5]});
-    for (std::size_t t = 0; t < cur.torsions.size(); ++t)
-      cur.torsions[t] = wrap_angle(cur.torsions[t] + dx[6 + t]);
-
+    adadelta_step(grad, opts, n, g.data(), dx.data(), eg2.data(), ex2.data(),
+                  cur);
     cur_energy = score.evaluate_with_gradient(cur, arena, grad);
     ++out.iterations;
     if (cur_energy < out.energy) {
@@ -169,6 +186,80 @@ void mutate(Pose& p, Rng& rng, const LgaOptions& opts) {
       t = wrap_angle(t + rng.gauss(0, opts.mutation_torsion_sigma));
 }
 
+struct Individual {
+  Pose pose;
+  double energy;
+};
+
+/// Per-lane state for lock-step batched ADADELTA, reused across generations
+/// so steady-state local search stays allocation-free once warmed.
+struct AdaBatchState {
+  std::array<Pose, kMaxBatchPoses> cur, best;
+  std::array<PoseGradient, kMaxBatchPoses> grads;
+  std::vector<double> eg2, ex2, g, dx;  ///< lane-strided, count × genes
+  std::array<double, kMaxBatchPoses> energies{}, best_e{};
+};
+
+/// Runs ADADELTA on `count` children simultaneously: per-lane gene updates
+/// go through the same adadelta_step() the scalar path uses, and every gradient comes
+/// from one evaluate_with_gradient_batch call per iteration, so each lane's
+/// final pose and energy are bit-identical to a scalar adadelta() run from
+/// the same start. ADADELTA draws no RNG and has no data-dependent exit, so
+/// children can be deferred and run lock-step without touching the
+/// generation's RNG stream (Solis–Wets cannot — it stays inline).
+void adadelta_lockstep(const ScoringFunction& score,
+                       std::vector<Individual>& inds, const int* idx,
+                       int count, const AdadeltaOptions& opts,
+                       BatchScratch& bscratch, AdaBatchState& st) {
+  const std::size_t n =
+      6 + inds[static_cast<std::size_t>(idx[0])].pose.torsions.size();
+  const std::size_t lanes = static_cast<std::size_t>(count);
+  st.eg2.assign(lanes * n, 0.0);
+  st.ex2.assign(lanes * n, 0.0);
+  st.g.resize(lanes * n);
+  st.dx.resize(lanes * n);
+
+  PoseBatch pb;
+  for (int l = 0; l < count; ++l) {
+    st.cur[static_cast<std::size_t>(l)] =
+        inds[static_cast<std::size_t>(idx[l])].pose;
+    pb.push(st.cur[static_cast<std::size_t>(l)]);
+  }
+  score.evaluate_with_gradient_batch(pb, bscratch, st.energies.data(),
+                                     st.grads.data());
+  for (int l = 0; l < count; ++l) {
+    st.best[static_cast<std::size_t>(l)] = st.cur[static_cast<std::size_t>(l)];
+    st.best_e[static_cast<std::size_t>(l)] =
+        st.energies[static_cast<std::size_t>(l)];
+  }
+
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    for (std::size_t l = 0; l < lanes; ++l)
+      adadelta_step(st.grads[l], opts, n, st.g.data() + l * n,
+                    st.dx.data() + l * n, st.eg2.data() + l * n,
+                    st.ex2.data() + l * n, st.cur[l]);
+
+    pb.clear();
+    for (std::size_t l = 0; l < lanes; ++l) pb.push(st.cur[l]);
+    score.evaluate_with_gradient_batch(pb, bscratch, st.energies.data(),
+                                       st.grads.data());
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if (st.energies[l] < st.best_e[l]) {
+        st.best_e[l] = st.energies[l];
+        st.best[l] = st.cur[l];
+      }
+    }
+  }
+
+  // Lamarckian write-back, as the inline path does with ls.pose/ls.energy.
+  for (int l = 0; l < count; ++l) {
+    inds[static_cast<std::size_t>(idx[l])].pose =
+        st.best[static_cast<std::size_t>(l)];
+    inds[static_cast<std::size_t>(idx[l])].energy =
+        st.best_e[static_cast<std::size_t>(l)];
+  }
+}
+
 }  // namespace
 
 LgaResult run_lga(const ScoringFunction& score, Rng& rng, const LgaOptions& opts) {
@@ -177,24 +268,107 @@ LgaResult run_lga(const ScoringFunction& score, Rng& rng, const LgaOptions& opts
 
   // One scratch arena per search-run: every scoring call below builds
   // coordinates (and forces) into it, so steady-state evaluation never
-  // touches the heap.
+  // touches the heap. The batch arena is its SoA counterpart.
   ScorerScratch scratch;
+  BatchScratch bscratch;
+  const int B = std::clamp(opts.score_batch, 0, kMaxBatchPoses);
+  const bool batched = B >= 2;
 
-  struct Individual {
-    Pose pose;
-    double energy;
-  };
+  // Batch observability: handles resolved once per run (registration locks),
+  // then updated with relaxed atomic ops on the hot path.
+  obs::Recorder* rec = obs::global();
+  obs::Counter* batch_poses =
+      rec ? &rec->metrics().counter("dock.batch.poses") : nullptr;
+  obs::Histogram* batch_fill =
+      rec ? &rec->metrics().histogram("dock.batch.fill",
+                                      obs::HistogramSpec{1.0, 32.0, 10})
+          : nullptr;
+
   std::vector<Individual> pop;
   pop.reserve(static_cast<std::size_t>(opts.population));
+
+  // Deferred plain scoring: poses queue in `pb` (pointers into a reserved
+  // population vector, so they stay stable) and flush through the batched
+  // kernel when full; the remainder falls through to the scalar kernel.
+  // Deferral never reorders RNG draws — evaluate() consumes none.
+  PoseBatch pb;
+  std::array<int, kMaxBatchPoses> pending{};
+  std::array<double, kMaxBatchPoses> energies{};
+
+  auto flush_batched = [&](std::vector<Individual>& vec) {
+    if (pb.empty()) return;
+    obs::Span span(obs::cat::kDock, "lga.batch");
+    score.evaluate_batch(pb, bscratch, energies.data());
+    for (int l = 0; l < pb.count; ++l)
+      vec[static_cast<std::size_t>(pending[static_cast<std::size_t>(l)])]
+          .energy = energies[static_cast<std::size_t>(l)];
+    if (batch_poses) {
+      batch_poses->add(static_cast<std::uint64_t>(pb.count));
+      batch_fill->observe(static_cast<double>(pb.count));
+      span.arg("poses", static_cast<double>(pb.count));
+    }
+    pb.clear();
+  };
+  auto flush_scalar = [&](std::vector<Individual>& vec) {
+    if (pb.empty()) return;
+    obs::Span span(obs::cat::kDock, "lga.scalar");
+    for (int l = 0; l < pb.count; ++l)
+      vec[static_cast<std::size_t>(pending[static_cast<std::size_t>(l)])]
+          .energy = score.evaluate(
+          *pb.poses[static_cast<std::size_t>(l)], scratch);
+    if (span.active()) span.arg("poses", static_cast<double>(pb.count));
+    pb.clear();
+  };
+  auto defer = [&](std::vector<Individual>& vec, int index) {
+    pending[static_cast<std::size_t>(pb.count)] = index;
+    pb.push(vec[static_cast<std::size_t>(index)].pose);
+    if (pb.count == B) flush_batched(vec);
+  };
+
   for (int i = 0; i < opts.population; ++i) {
     Individual ind;
     ind.pose = score.ligand().random_pose(center, opts.init_radius, rng);
-    ind.energy = score.evaluate(ind.pose, scratch);
+    ind.energy = 0.0;
     pop.push_back(std::move(ind));
+    if (batched)
+      defer(pop, i);
+    else
+      pop.back().energy = score.evaluate(pop.back().pose, scratch);
   }
+  flush_scalar(pop);
 
   auto by_energy = [](const Individual& a, const Individual& b) {
     return a.energy < b.energy;
+  };
+
+  // Lock-step ADADELTA lanes (see adadelta_lockstep); state reused across
+  // generations.
+  AdaBatchState ada_state;
+  std::array<int, kMaxBatchPoses> ada_pending{};
+  int ada_count = 0;
+  auto flush_ada = [&](std::vector<Individual>& vec) {
+    if (ada_count == 0) return;
+    if (ada_count > 1) {
+      obs::Span span(obs::cat::kDock, "lga.ls_batch");
+      adadelta_lockstep(score, vec, ada_pending.data(), ada_count, opts.ad,
+                        bscratch, ada_state);
+      if (batch_poses) {
+        const std::uint64_t evals = static_cast<std::uint64_t>(ada_count) *
+                                    (1 + static_cast<std::uint64_t>(std::max(
+                                             0, opts.ad.max_iterations)));
+        batch_poses->add(evals);
+        batch_fill->observe(static_cast<double>(ada_count));
+        span.arg("poses", static_cast<double>(ada_count));
+      }
+    } else {
+      // Remainder lane falls through to the scalar local search.
+      obs::Span span(obs::cat::kDock, "lga.ls_scalar");
+      Individual& ind = vec[static_cast<std::size_t>(ada_pending[0])];
+      const LocalSearchResult ls = adadelta(score, ind.pose, opts.ad, &scratch);
+      ind.pose = ls.pose;
+      ind.energy = ls.energy;
+    }
+    ada_count = 0;
   };
 
   for (int gen = 0; gen < opts.generations; ++gen) {
@@ -213,6 +387,7 @@ LgaResult run_lga(const ScoringFunction& score, Rng& rng, const LgaOptions& opts
     };
 
     while (next.size() < pop.size()) {
+      const int index = static_cast<int>(next.size());
       Individual child;
       if (rng.bernoulli(opts.crossover_rate)) {
         child.pose = crossover(select().pose, select().pose, rng);
@@ -224,18 +399,35 @@ LgaResult run_lga(const ScoringFunction& score, Rng& rng, const LgaOptions& opts
 
       if (opts.local_search != LocalSearchMethod::None &&
           rng.bernoulli(opts.local_search_rate)) {
-        // Lamarckian step: the improved genotype is inherited.
-        LocalSearchResult ls =
-            opts.local_search == LocalSearchMethod::SolisWets
-                ? solis_wets(score, child.pose, rng, opts.sw, &scratch)
-                : adadelta(score, child.pose, opts.ad, &scratch);
-        child.pose = ls.pose;
-        child.energy = ls.energy;
+        if (batched && opts.local_search == LocalSearchMethod::Adadelta) {
+          // Defer to a lock-step lane batch; ADADELTA consumes no RNG, so
+          // running it after the generation's genotypes are drawn leaves
+          // the stream untouched.
+          next.push_back(std::move(child));
+          ada_pending[static_cast<std::size_t>(ada_count++)] = index;
+          if (ada_count == B) flush_ada(next);
+        } else {
+          // Lamarckian step: the improved genotype is inherited.
+          LocalSearchResult ls =
+              opts.local_search == LocalSearchMethod::SolisWets
+                  ? solis_wets(score, child.pose, rng, opts.sw, &scratch)
+                  : adadelta(score, child.pose, opts.ad, &scratch);
+          child.pose = ls.pose;
+          child.energy = ls.energy;
+          next.push_back(std::move(child));
+        }
       } else {
-        child.energy = score.evaluate(child.pose, scratch);
+        if (batched) {
+          next.push_back(std::move(child));
+          defer(next, index);
+        } else {
+          child.energy = score.evaluate(child.pose, scratch);
+          next.push_back(std::move(child));
+        }
       }
-      next.push_back(std::move(child));
     }
+    flush_scalar(next);
+    flush_ada(next);
     pop = std::move(next);
   }
 

@@ -65,6 +65,13 @@ struct LgaOptions {
   SolisWetsOptions sw;
   AdadeltaOptions ad;
   double init_radius = 4.0;  ///< Å around pocket center for initial poses
+  /// Poses scored together through the SoA batched kernels
+  /// (score_batch.hpp): plain population scoring flushes in batches of this
+  /// size, and ADADELTA local searches run lock-step across this many
+  /// children. Remainders fall through to the scalar kernels. Trajectories
+  /// are bit-identical at any setting (the lane kernels are exact), so this
+  /// is purely a throughput knob. 0 or 1 disables batching.
+  int score_batch = 8;
 };
 
 struct LgaResult {

@@ -176,6 +176,36 @@ TEST(ScorerAllocation, SteadyStateEvaluateIsAllocationFree) {
   EXPECT_EQ(g_allocations.load(), before) << "sink=" << sink;
 }
 
+TEST(ScorerAllocation, ScratchScoreCoordsIsAllocationFree) {
+  // The pointer overload resizes the caller's forces vector (may allocate on
+  // first use); the ScorerScratch overload must not allocate once warmed.
+  const auto grid = test_grid(5);
+  const auto mol = chem::parse_smiles("CC(=O)Oc1ccccc1C(=O)O");
+  const dock::Ligand lig(mol, 3);
+  const dock::ScoringFunction score(*grid, lig);
+
+  Rng rng(47);
+  std::vector<Vec3> coords;
+  lig.build_coords(lig.random_pose(grid->pocket_center, 2.0, rng), coords);
+
+  dock::ScorerScratch scratch;
+  std::vector<Vec3> forces;
+  const double via_ptr = score.score_coords(coords, &forces);
+  const double via_scratch = score.score_coords(coords, scratch);  // warm-up
+  EXPECT_EQ(via_scratch, via_ptr);
+  ASSERT_EQ(scratch.forces.size(), forces.size());
+  for (std::size_t i = 0; i < forces.size(); ++i) {
+    EXPECT_EQ(scratch.forces[i].x, forces[i].x);
+    EXPECT_EQ(scratch.forces[i].y, forces[i].y);
+    EXPECT_EQ(scratch.forces[i].z, forces[i].z);
+  }
+
+  const std::uint64_t before = g_allocations.load();
+  double sink = 0.0;
+  for (int it = 0; it < 200; ++it) sink += score.score_coords(coords, scratch);
+  EXPECT_EQ(g_allocations.load(), before) << "sink=" << sink;
+}
+
 TEST(ScorerAllocation, FallbackArenaSignaturesAreAllocationFreeToo) {
   const auto grid = test_grid(3);
   const auto mol = chem::parse_smiles("CCOc1ccc(N)cc1");

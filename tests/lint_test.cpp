@@ -29,6 +29,10 @@ TEST(LintClassify, PathClasses) {
 
   EXPECT_TRUE(lint::classify("src/impeccable/dock/score.cpp").in_dock_scorer);
   EXPECT_TRUE(lint::classify("src/impeccable/dock/grid.hpp").in_dock_scorer);
+  EXPECT_TRUE(
+      lint::classify("src/impeccable/dock/score_batch.cpp").in_dock_scorer);
+  EXPECT_TRUE(
+      lint::classify("src/impeccable/dock/score_batch.hpp").in_dock_scorer);
   EXPECT_FALSE(
       lint::classify("src/impeccable/dock/engine.cpp").in_dock_scorer);
   EXPECT_TRUE(

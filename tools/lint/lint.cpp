@@ -379,7 +379,7 @@ FileClass classify(std::string_view rel_path) {
   cls.is_header = p.size() >= 4 && (p.ends_with(".hpp") || p.ends_with(".h"));
   if (cls.in_src && p.find("/dock/") != std::string::npos) {
     const std::string base = p.substr(p.rfind('/') + 1);
-    cls.in_dock_scorer = base.rfind("score.", 0) == 0 ||
+    cls.in_dock_scorer = base.rfind("score", 0) == 0 ||
                          base.rfind("grid.", 0) == 0;
   }
   cls.in_stages = p.find("core/stages/") != std::string::npos;

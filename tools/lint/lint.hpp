@@ -25,7 +25,9 @@
 //                       caller-supplied streams. Abort-path diagnostics use
 //                       std::fprintf(stderr, ...) which stays signal-safe
 //                       and unbuffered-by-intent.
-//   no-naked-alloc      dock/ steady-state scorer files (score.*, grid.*).
+//   no-naked-alloc      dock/ steady-state scorer files (score*, grid.*;
+//                       score* covers score_batch.* — the batched kernels
+//                       carry the same guarantee).
 //                       malloc/calloc/realloc and array new[] would
 //                       silently undo PR 2's allocation-free evaluate()
 //                       guarantee; storage belongs in ScorerScratch or in
@@ -67,7 +69,7 @@ struct Diagnostic {
 struct FileClass {
   bool in_src = false;          ///< under src/ (library code)
   bool is_header = false;       ///< .hpp or .h
-  bool in_dock_scorer = false;  ///< dock/score.* or dock/grid.*
+  bool in_dock_scorer = false;  ///< dock/score*, dock/grid.* (incl. score_batch.*)
   bool in_stages = false;       ///< under core/stages/
 };
 
