@@ -1,0 +1,176 @@
+// bench_serve — screening-as-a-service latency/throughput curves, the
+// workload behind BENCH_pr7.json.
+//
+// Three measurements against serve::InferenceServer:
+//   1. Closed-loop capacity probe: N waiting clients over an all-unique
+//      stream (cache off) fixes the server's peak model-bound throughput
+//      and the client-count scaling curve.
+//   2. Cache headline: the same closed-loop harness on a 90%-repeat-ligand
+//      stream, cache off vs. warmed cache on. The acceptance target is
+//      >= 5x throughput from serving repeats out of the sharded cache.
+//   3. Open-loop sweep: fixed-schedule arrivals at increasing multiples of
+//      the probed capacity under kShed admission. Latency is measured from
+//      the scheduled send time (no coordinated omission), so the curve
+//      shows the saturation knee — and that p99 of *served* requests stays
+//      bounded under overload because the watermark sheds the excess.
+//
+// Usage: bench_serve [out.json]   (JSON also echoed to stdout)
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "impeccable/ml/surrogate.hpp"
+#include "impeccable/serve/loadgen.hpp"
+#include "impeccable/serve/server.hpp"
+
+namespace ml = impeccable::ml;
+namespace serve = impeccable::serve;
+
+namespace {
+
+constexpr const char* kTarget = "3clpro";
+
+std::unique_ptr<ml::SurrogateModel> make_model() {
+  ml::SurrogateOptions opts;
+  opts.seed = 0xbe7c;  // deterministic weights; serving never trains
+  return std::make_unique<ml::SurrogateModel>(opts);
+}
+
+void report_json(std::ostream& os, const serve::LoadReport& r) {
+  os << "{\"issued\": " << r.issued << ", \"completed\": " << r.completed
+     << ", \"shed\": " << r.shed << ", \"offered_rps\": " << r.offered_rps
+     << ", \"achieved_rps\": " << r.achieved_rps
+     << ",\n       \"p50_us\": " << r.p50_us << ", \"p95_us\": " << r.p95_us
+     << ", \"p99_us\": " << r.p99_us << ", \"mean_us\": " << r.mean_us
+     << ", \"max_us\": " << r.max_us << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int hw = std::max(2u, std::thread::hardware_concurrency());
+
+  // All-unique stream for capacity probing; 90%-repeat stream for the cache.
+  serve::WorkloadOptions unique_opts;
+  unique_opts.unique_ligands = 96;
+  unique_opts.stream_length = 8192;
+  unique_opts.repeat_fraction = 0.0;
+  const serve::Workload unique_load = serve::make_workload(unique_opts);
+
+  serve::WorkloadOptions repeat_opts = unique_opts;
+  repeat_opts.repeat_fraction = 0.9;
+  repeat_opts.hot_set = 16;
+  const serve::Workload repeat_load = serve::make_workload(repeat_opts);
+
+  std::ostringstream json;
+  json.precision(17);
+  json << "{\n  \"workload\": \"bench_serve\",\n  \"hw_threads\": " << hw
+       << ",\n  \"unique_ligands\": " << unique_opts.unique_ligands
+       << ",\n  \"flops_per_image\": " << make_model()->flops_per_image();
+
+  // ---- 1. closed-loop client scaling (cache off, all-unique) ------------
+  json << ",\n  \"closed_loop\": [";
+  double peak_rps = 0.0;
+  bool first = true;
+  std::vector<int> client_counts{1, 2, hw, 2 * hw};
+  std::sort(client_counts.begin(), client_counts.end());
+  client_counts.erase(std::unique(client_counts.begin(), client_counts.end()),
+                      client_counts.end());
+  for (const int clients : client_counts) {
+    serve::ServeOptions sopts;
+    sopts.cache.capacity = 0;
+    serve::InferenceServer server(sopts);
+    server.register_target(kTarget, make_model());
+    serve::ClosedLoopOptions copts;
+    copts.clients = clients;
+    copts.requests_per_client = 400 / clients + 20;
+    const serve::LoadReport r =
+        serve::run_closed_loop(server, kTarget, unique_load, copts);
+    peak_rps = std::max(peak_rps, r.achieved_rps);
+    if (!first) json << ",";
+    first = false;
+    json << "\n    {\"clients\": " << clients << ", \"report\": ";
+    report_json(json, r);
+    json << "}";
+  }
+  json << "\n  ]";
+
+  // ---- 2. cache-hit headline (90%-repeat stream) ------------------------
+  const auto run_repeat = [&](std::size_t cache_capacity) {
+    serve::ServeOptions sopts;
+    sopts.cache.capacity = cache_capacity;
+    serve::InferenceServer server(sopts);
+    server.register_target(kTarget, make_model());
+    if (cache_capacity > 0) {
+      // Warm the cache with one pass over the pool: steady-state serving,
+      // not cold-start, is what the repeat workload measures.
+      for (const serve::Request& req : repeat_load.unique)
+        server.score(kTarget, req);
+    }
+    serve::ClosedLoopOptions copts;
+    copts.clients = hw;
+    copts.requests_per_client = 1600 / hw + 25;
+    const serve::LoadReport r =
+        serve::run_closed_loop(server, kTarget, repeat_load, copts);
+    return std::make_pair(r, server.stats(kTarget));
+  };
+  const auto [cold, cold_stats] = run_repeat(0);
+  const auto [warm, warm_stats] = run_repeat(4096);
+  const double speedup = warm.achieved_rps / std::max(1e-9, cold.achieved_rps);
+  json << ",\n  \"cache\": {\n    \"repeat_fraction\": "
+       << repeat_opts.repeat_fraction << ",\n    \"hot_set\": "
+       << repeat_opts.hot_set << ",\n    \"off\": ";
+  report_json(json, cold);
+  json << ",\n    \"on\": ";
+  report_json(json, warm);
+  json << ",\n    \"on_hits\": " << warm_stats.cache.hits
+       << ", \"on_misses\": " << warm_stats.cache.misses
+       << ", \"on_model_images\": " << warm_stats.model_images
+       << ", \"off_model_images\": " << cold_stats.model_images
+       << ",\n    \"throughput_speedup\": " << speedup << "\n  }";
+
+  // ---- 3. open-loop offered-load sweep under kShed ----------------------
+  json << ",\n  \"open_loop\": [";
+  double knee_rps = 0.0;
+  first = true;
+  for (const double mult : {0.25, 0.5, 0.75, 1.0, 1.5, 2.5}) {
+    const double rate = std::max(50.0, mult * peak_rps);
+    serve::ServeOptions sopts;
+    sopts.cache.capacity = 0;
+    sopts.admission = serve::AdmissionPolicy::kShed;
+    sopts.queue_capacity = 128;
+    serve::InferenceServer server(sopts);
+    server.register_target(kTarget, make_model());
+    serve::OpenLoopOptions oopts;
+    oopts.offered_rps = rate;
+    // ~1.5 s of offered load per point, bounded for the slow/fast extremes.
+    oopts.requests = std::clamp<std::size_t>(
+        static_cast<std::size_t>(rate * 1.5), 64, 4096);
+    const serve::LoadReport r =
+        serve::run_open_loop(server, kTarget, unique_load, oopts);
+    // Saturation knee: the first offered rate the server cannot keep up
+    // with (achieved < 90% of offered once shedding starts).
+    if (knee_rps == 0.0 && r.achieved_rps < 0.9 * r.offered_rps)
+      knee_rps = r.offered_rps;
+    if (!first) json << ",";
+    first = false;
+    json << "\n    {\"load_multiplier\": " << mult << ", \"report\": ";
+    report_json(json, r);
+    json << "}";
+  }
+  json << "\n  ],\n  \"peak_closed_loop_rps\": " << peak_rps
+       << ",\n  \"saturation_knee_rps\": " << knee_rps << "\n}\n";
+
+  std::cout << json.str();
+  if (argc > 1) {
+    std::ofstream f(argv[1]);
+    f << json.str();
+    std::cerr << "wrote " << argv[1] << "\n";
+  }
+  return 0;
+}

@@ -6,7 +6,9 @@
 #      RNG-ownership auditor and IMP_DCHECK bounds checks run live): full
 #      suite;
 #   3. ubsan preset (-fsanitize=undefined, errors fatal): full suite;
-#   4. tsan preset: the concurrency-sensitive subsets (obs + graph labels);
+#   4. tsan preset: the concurrency-sensitive subsets (obs + graph + serve
+#      labels — serve covers the inference server's worker/submitter paths
+#      and the concurrent SurrogateModel::predict_batch contract);
 #   5. native preset (-march=native Release): the `dock`-labelled suite —
 #      the batched SIMD scorer's bitwise-equivalence gate must hold under
 #      the widest vectorization the host supports, not just the portable
@@ -66,6 +68,9 @@ ctest --preset tsan-obs -j "$JOBS"
 
 echo "== tsan: graph-labeled tests =="
 ctest --preset tsan-graph -j "$JOBS"
+
+echo "== tsan: serve-labeled tests =="
+ctest --preset tsan-serve -j "$JOBS"
 
 echo "== configure + build (native preset: -march=native Release) =="
 cmake --preset native -DIMPECCABLE_WERROR=ON

@@ -23,6 +23,9 @@ class BitSet {
     return (words_[static_cast<std::size_t>(i) >> 6] >> (i & 63)) & 1ULL;
   }
   int popcount() const;
+  /// Packed 64-bit words (bit i lives in words()[i/64] at position i%64).
+  /// Exposed for content hashing (serve:: cache keys) and bulk set ops.
+  const std::vector<std::uint64_t>& words() const { return words_; }
   /// |a & b|
   static int intersection_count(const BitSet& a, const BitSet& b);
   /// |a | b|

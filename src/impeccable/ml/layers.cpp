@@ -15,6 +15,10 @@ void Layer::zero_grad() {
   for (auto p : params()) p.grad->zero();
 }
 
+Tensor Layer::infer(const Tensor&) const {
+  throw std::logic_error("Layer::infer: layer has no inference-only path");
+}
+
 // ---------------------------------------------------------------- Dense
 
 Dense::Dense(int in, int out, common::Rng& rng)
@@ -24,10 +28,9 @@ Dense::Dense(int in, int out, common::Rng& rng)
       weight_grad({out, in}),
       bias_grad({out}) {}
 
-Tensor Dense::forward(const Tensor& x) {
+Tensor Dense::apply(const Tensor& x) const {
   if (x.rank() != 2 || x.dim(1) != weight.dim(1))
     throw std::invalid_argument("Dense::forward: bad input shape " + x.shape_string());
-  input_ = x;
   const int n = x.dim(0), in = weight.dim(1), out = weight.dim(0);
   Tensor y({n, out});
   // y = bias (broadcast over rows) + x · W^T, accumulated ascending-k — the
@@ -39,6 +42,14 @@ Tensor Dense::forward(const Tensor& x) {
        1.0f, y.data(), out, compute_pool());
   return y;
 }
+
+Tensor Dense::forward(const Tensor& x) {
+  Tensor y = apply(x);
+  input_ = x;
+  return y;
+}
+
+Tensor Dense::infer(const Tensor& x) const { return apply(x); }
 
 Tensor Dense::backward(const Tensor& grad_out) {
   const int n = input_.dim(0), in = weight.dim(1), out = weight.dim(0);
@@ -73,6 +84,12 @@ Tensor ReLU::forward(const Tensor& x) {
   return y;
 }
 
+Tensor ReLU::infer(const Tensor& x) const {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  return y;
+}
+
 Tensor ReLU::backward(const Tensor& grad_out) {
   check_same_shape(grad_out, mask_, "ReLU::backward");
   Tensor g(grad_out.shape());
@@ -87,6 +104,13 @@ Tensor Sigmoid::forward(const Tensor& x) {
   for (std::size_t i = 0; i < x.size(); ++i)
     output_[i] = 1.0f / (1.0f + std::exp(-x[i]));
   return output_;
+}
+
+Tensor Sigmoid::infer(const Tensor& x) const {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  return y;
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_out) {
@@ -163,10 +187,9 @@ Conv3x3::Conv3x3(int in_channels, int out_channels, common::Rng& rng)
       weight_grad({out_channels, in_channels, 3, 3}),
       bias_grad({out_channels}) {}
 
-Tensor Conv3x3::forward(const Tensor& x) {
+Tensor Conv3x3::apply(const Tensor& x) const {
   if (x.rank() != 4 || x.dim(1) != weight.dim(1))
     throw std::invalid_argument("Conv3x3::forward: bad input " + x.shape_string());
-  input_ = x;
   const int n = x.dim(0), cin = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int cout = weight.dim(0);
   const int kdim = cin * 9;
@@ -195,6 +218,14 @@ Tensor Conv3x3::forward(const Tensor& x) {
   }
   return y;
 }
+
+Tensor Conv3x3::forward(const Tensor& x) {
+  Tensor y = apply(x);
+  input_ = x;
+  return y;
+}
+
+Tensor Conv3x3::infer(const Tensor& x) const { return apply(x); }
 
 Tensor Conv3x3::backward(const Tensor& grad_out) {
   const int n = input_.dim(0), cin = input_.dim(1), h = input_.dim(2),
@@ -243,12 +274,11 @@ std::vector<Param> Conv3x3::params() {
 
 // ---------------------------------------------------------------- MaxPool2
 
-Tensor MaxPool2::forward(const Tensor& x) {
+Tensor MaxPool2::apply(const Tensor& x, std::vector<int>* argmax) const {
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int oh = h / 2, ow = w / 2;
-  in_shape_ = x.shape();
   Tensor y({n, c, oh, ow});
-  argmax_.assign(y.size(), 0);
+  if (argmax) argmax->assign(y.size(), 0);
   std::size_t out_idx = 0;
   for (int b = 0; b < n; ++b) {
     for (int ch = 0; ch < c; ++ch) {
@@ -267,13 +297,20 @@ Tensor MaxPool2::forward(const Tensor& x) {
             }
           }
           y[out_idx] = best;
-          argmax_[out_idx] = best_flat;
+          if (argmax) (*argmax)[out_idx] = best_flat;
         }
       }
     }
   }
   return y;
 }
+
+Tensor MaxPool2::forward(const Tensor& x) {
+  in_shape_ = x.shape();
+  return apply(x, &argmax_);
+}
+
+Tensor MaxPool2::infer(const Tensor& x) const { return apply(x, nullptr); }
 
 Tensor MaxPool2::backward(const Tensor& grad_out) {
   Tensor grad_in(in_shape_);
@@ -286,6 +323,12 @@ Tensor MaxPool2::backward(const Tensor& grad_out) {
 
 Tensor Flatten::forward(const Tensor& x) {
   in_shape_ = x.shape();
+  int rest = 1;
+  for (int d = 1; d < x.rank(); ++d) rest *= x.dim(d);
+  return x.reshaped({x.dim(0), rest});
+}
+
+Tensor Flatten::infer(const Tensor& x) const {
   int rest = 1;
   for (int d = 1; d < x.rank(); ++d) rest *= x.dim(d);
   return x.reshaped({x.dim(0), rest});
@@ -304,6 +347,12 @@ Tensor ResidualBlock::forward(const Tensor& x) {
   Tensor h = conv2_.forward(relu1_.forward(conv1_.forward(x)));
   h += x;
   return relu_out_.forward(h);
+}
+
+Tensor ResidualBlock::infer(const Tensor& x) const {
+  Tensor h = conv2_.infer(relu1_.infer(conv1_.infer(x)));
+  h += x;
+  return relu_out_.infer(h);
 }
 
 Tensor ResidualBlock::backward(const Tensor& grad_out) {
@@ -374,6 +423,12 @@ void load_parameters(Layer& layer, const std::string& path) {
 Tensor Sequential::forward(const Tensor& x) {
   Tensor cur = x;
   for (auto& l : layers_) cur = l->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::infer(const Tensor& x) const {
+  Tensor cur = x;
+  for (const auto& l : layers_) cur = l->infer(cur);
   return cur;
 }
 

@@ -23,6 +23,13 @@ class Layer {
   virtual ~Layer() = default;
   virtual Tensor forward(const Tensor& x) = 0;
   virtual Tensor backward(const Tensor& grad_out) = 0;
+  /// Inference-only forward pass: bitwise-identical outputs to forward()
+  /// (both run the same compute code), but const — nothing is cached for a
+  /// later backward(), so concurrent infer() calls on a shared layer are
+  /// data-race-free. The serving path (serve::InferenceServer) and any
+  /// multi-threaded predict depend on this. Default throws for layers that
+  /// have no inference semantics.
+  virtual Tensor infer(const Tensor& x) const;
   virtual std::vector<Param> params() { return {}; }
   void zero_grad();
 };
@@ -33,6 +40,7 @@ class Dense : public Layer {
   Dense(int in, int out, common::Rng& rng);
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param> params() override;
 
   Tensor weight;  ///< (out, in)
@@ -40,6 +48,7 @@ class Dense : public Layer {
   Tensor weight_grad, bias_grad;
 
  private:
+  Tensor apply(const Tensor& x) const;  ///< shared forward/infer compute
   Tensor input_;
 };
 
@@ -48,6 +57,7 @@ class ReLU : public Layer {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
 
  private:
   Tensor mask_;
@@ -58,6 +68,7 @@ class Sigmoid : public Layer {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
 
  private:
   Tensor output_;
@@ -69,6 +80,7 @@ class Conv3x3 : public Layer {
   Conv3x3(int in_channels, int out_channels, common::Rng& rng);
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param> params() override;
 
   Tensor weight;  ///< (Cout, Cin, 3, 3)
@@ -76,6 +88,7 @@ class Conv3x3 : public Layer {
   Tensor weight_grad, bias_grad;
 
  private:
+  Tensor apply(const Tensor& x) const;  ///< shared forward/infer compute
   Tensor input_;
 };
 
@@ -84,8 +97,11 @@ class MaxPool2 : public Layer {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
 
  private:
+  /// Shared forward/infer compute; `argmax` may be null (inference).
+  Tensor apply(const Tensor& x, std::vector<int>* argmax) const;
   std::vector<int> argmax_;
   std::vector<int> in_shape_;
 };
@@ -95,6 +111,7 @@ class Flatten : public Layer {
  public:
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
 
  private:
   std::vector<int> in_shape_;
@@ -107,6 +124,7 @@ class ResidualBlock : public Layer {
   ResidualBlock(int channels, common::Rng& rng);
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param> params() override;
 
  private:
@@ -126,6 +144,7 @@ class Sequential : public Layer {
   void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
+  Tensor infer(const Tensor& x) const override;
   std::vector<Param> params() override;
   std::size_t size() const { return layers_.size(); }
 

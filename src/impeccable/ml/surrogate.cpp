@@ -116,24 +116,26 @@ TrainReport SurrogateModel::train(const std::vector<chem::Image>& images,
   return report;
 }
 
-float SurrogateModel::predict(const chem::Image& image) {
+float SurrogateModel::predict(const chem::Image& image) const {
   std::vector<chem::Image> one{image};
   return predict_batch(one)[0];
 }
 
 std::vector<float> SurrogateModel::predict_batch(
-    const std::vector<chem::Image>& images) {
+    const std::vector<chem::Image>& images) const {
   obs::Span span(obs::cat::kMl, "surrogate-predict");
   span.arg("images", static_cast<double>(images.size()));
   std::vector<float> out;
   out.reserve(images.size());
   const std::size_t chunk =
       static_cast<std::size_t>(std::max(1, opts_.predict_chunk));
-  Tensor x;  // one scratch across all full-sized chunks
+  // Per-call scratch + the layers' cache-free infer() path: no shared
+  // mutable state, so concurrent predict_batch calls are data-race-free.
+  Tensor x;  // one scratch across all full-sized chunks of THIS call
   for (std::size_t at = 0; at < images.size(); at += chunk) {
     const std::size_t bs = std::min(chunk, images.size() - at);
     to_tensor(images, at, bs, x);
-    const Tensor pred = net_.forward(x);
+    const Tensor pred = net_.infer(x);
     for (std::size_t i = 0; i < bs; ++i) out.push_back(pred[i]);
   }
   return out;

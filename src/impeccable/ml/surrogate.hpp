@@ -53,8 +53,14 @@ class SurrogateModel {
                     const std::vector<float>& labels);
 
   /// Predicted label in [0, 1] (higher = more likely strong binder).
-  float predict(const chem::Image& image);
-  std::vector<float> predict_batch(const std::vector<chem::Image>& images);
+  ///
+  /// Thread safety: predict/predict_batch are const and run the network's
+  /// cache-free infer() path with per-call scratch, so any number of threads
+  /// may score through one model concurrently (the serving path depends on
+  /// this). Outputs are bitwise identical to the training-time forward.
+  /// train() mutates the weights and must not overlap with predictions.
+  float predict(const chem::Image& image) const;
+  std::vector<float> predict_batch(const std::vector<chem::Image>& images) const;
 
   const SurrogateOptions& options() const { return opts_; }
 

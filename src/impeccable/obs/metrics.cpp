@@ -107,6 +107,35 @@ Histogram::Snapshot Histogram::snapshot() const {
   return s;
 }
 
+double Histogram::quantile(double q) const {
+  const Snapshot s = snapshot();
+  if (s.count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [0, count]; walk the cumulative distribution underflow ->
+  // buckets -> overflow and interpolate inside the bucket that crosses it.
+  const double rank = q * static_cast<double>(s.count);
+  double cum = 0.0;
+  auto interp = [&](double lo, double hi, double n) {
+    if (n <= 0.0) return lo;
+    const double frac = std::clamp((rank - cum) / n, 0.0, 1.0);
+    return lo + frac * (hi - lo);
+  };
+  auto clip = [&](double v) { return std::clamp(v, s.min, s.max); };
+  if (rank <= cum + static_cast<double>(s.underflow))
+    return clip(interp(s.min, std::min(spec_.lower, s.max),
+                       static_cast<double>(s.underflow)));
+  cum += static_cast<double>(s.underflow);
+  for (std::size_t i = 0; i < s.counts.size(); ++i) {
+    const double n = static_cast<double>(s.counts[i]);
+    if (rank <= cum + n && n > 0.0)
+      return clip(interp(bucket_bound(static_cast<int>(i)),
+                         bucket_bound(static_cast<int>(i) + 1), n));
+    cum += n;
+  }
+  return clip(interp(std::max(spec_.upper, s.min), s.max,
+                     static_cast<double>(s.overflow)));
+}
+
 Counter& MetricsRegistry::counter(std::string_view name) {
   {
     std::shared_lock lk(mu_);

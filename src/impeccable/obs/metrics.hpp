@@ -67,6 +67,17 @@ class Histogram {
     double sum = 0.0, min = 0.0, max = 0.0;  ///< min/max valid iff count > 0
   };
   Snapshot snapshot() const;
+
+  /// Estimated q-quantile (q in [0, 1], clamped) from the log-spaced
+  /// buckets: the bucket holding rank q·count is located by cumulative
+  /// count and the value linearly interpolated within its edges, clipped
+  /// to the observed [min, max] (underflow/overflow ranks interpolate
+  /// against min/max directly). Resolution is therefore one bucket width —
+  /// ~18% relative at the default 6-buckets-per-decade layout. Returns NaN
+  /// on an empty histogram. quantile(0.5)/quantile(0.99) are the p50/p99
+  /// every latency report in bench/ uses.
+  double quantile(double q) const;
+
   const HistogramSpec& spec() const { return spec_; }
 
  private:

@@ -48,6 +48,7 @@ inline constexpr const char* kDock = "dock";    ///< per-ligand docking
 inline constexpr const char* kMl = "ml";        ///< surrogate train/predict
 inline constexpr const char* kFe = "fe";        ///< free-energy replicas
 inline constexpr const char* kPool = "pool";    ///< thread-pool jobs
+inline constexpr const char* kServe = "serve";  ///< inference-server batches
 }  // namespace cat
 
 struct SpanArg {

@@ -1,0 +1,97 @@
+#pragma once
+// Synthetic client workloads for the inference service.
+//
+// Two canonical load shapes from the inference-serving literature drive
+// serve::InferenceServer and report the latency/throughput curves the
+// ROADMAP asks for:
+//
+//  * Closed loop — N clients, each submit -> wait -> repeat. Offered load
+//    self-clocks to service capacity; measures end-to-end latency under
+//    backpressure and the server's peak sustainable throughput.
+//  * Open loop — requests dispatched on a fixed schedule at `offered_rps`
+//    regardless of completions (arrival process independent of service
+//    process). Latency is measured from the *scheduled* arrival time, so
+//    dispatcher lag cannot hide queueing delay (no coordinated omission),
+//    and overload behavior (bounded p99 via shedding, or queue growth) is
+//    observable.
+//
+// The ligand stream is generated deterministically from a seed: a pool of
+// `unique_ligands` synthetic molecules (chem::generate_library) with
+// depictions and fingerprint cache keys, sampled so that a request re-visits
+// a small hot set with probability `repeat_fraction` — the knob behind the
+// "90%-repeat workload" cache acceptance. Only the *timing* of a run is
+// host-dependent; the request content never is.
+//
+// Latency aggregation uses obs::Histogram (log-spaced, thread-safe) and its
+// quantile() estimator for p50/p95/p99.
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "impeccable/serve/server.hpp"
+
+namespace impeccable::serve {
+
+struct WorkloadOptions {
+  std::size_t unique_ligands = 128;  ///< distinct molecules in the pool
+  std::size_t stream_length = 1024;  ///< precomputed request stream size
+  /// Probability a request is drawn from the hot set (repeats) instead of
+  /// uniformly from the whole pool. 0 = (mostly) all-unique traffic.
+  double repeat_fraction = 0.0;
+  std::size_t hot_set = 16;  ///< size of the frequently-revisited subset
+  std::uint64_t seed = 0x5eed5e7fULL;
+  /// Depiction geometry; must match the registered model's SurrogateOptions.
+  int channels = 4, height = 32, width = 32;
+};
+
+/// A materialized request stream: request i scores unique[stream[i]].
+struct Workload {
+  std::vector<Request> unique;
+  std::vector<std::size_t> stream;
+
+  const Request& at(std::size_t i) const {
+    return unique[stream[i % stream.size()]];
+  }
+};
+
+Workload make_workload(const WorkloadOptions& opts);
+
+/// One load run's aggregate outcome. Latencies are in microseconds of
+/// server clock; quantiles come from a log-spaced obs::Histogram (bucket
+/// resolution ~18%).
+struct LoadReport {
+  double duration_s = 0.0;
+  std::size_t issued = 0;
+  std::size_t completed = 0;  ///< scored OK
+  std::size_t shed = 0;       ///< rejected by admission control
+  double offered_rps = 0.0;   ///< issued / duration (closed loop: achieved)
+  double achieved_rps = 0.0;  ///< completed / duration
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
+  double mean_us = 0.0, max_us = 0.0;
+};
+
+struct ClosedLoopOptions {
+  int clients = 4;
+  std::size_t requests_per_client = 256;
+};
+
+/// Run `clients` submit->wait loops against `target`, interleaving the
+/// workload stream across clients. Blocks until every client finishes.
+LoadReport run_closed_loop(InferenceServer& server, const std::string& target,
+                           const Workload& workload,
+                           const ClosedLoopOptions& opts);
+
+struct OpenLoopOptions {
+  double offered_rps = 500.0;
+  std::size_t requests = 512;
+};
+
+/// Dispatch `requests` on a fixed 1/offered_rps schedule (catching up
+/// without skipping when the dispatcher falls behind), then harvest every
+/// future. Latency for request k = completion time - scheduled time.
+LoadReport run_open_loop(InferenceServer& server, const std::string& target,
+                         const Workload& workload, const OpenLoopOptions& opts);
+
+}  // namespace impeccable::serve

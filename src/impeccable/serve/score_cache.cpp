@@ -1,0 +1,121 @@
+#include "impeccable/serve/score_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace impeccable::serve {
+
+namespace {
+
+/// SplitMix64-style finalizer: full-avalanche 64-bit mixing step.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Two independent 64-bit lanes over a word stream -> one 128-bit digest.
+/// Each lane absorbs (word ^ position-salt) through the mixer with a
+/// distinct initial state, so the lanes decorrelate and a collision needs
+/// both 64-bit hashes to collide at once.
+CacheKey digest(const std::uint64_t* words, std::size_t n,
+                std::uint64_t salt) {
+  CacheKey k{0x9e3779b97f4a7c15ULL ^ salt, 0xc2b2ae3d27d4eb4fULL ^ salt};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t w = words[i] + 0x9e3779b97f4a7c15ULL * (i + 1);
+    k.hi = mix64(k.hi ^ w);
+    k.lo = mix64(k.lo + (w ^ 0xa5a5a5a5a5a5a5a5ULL));
+  }
+  k.hi = mix64(k.hi ^ n);
+  k.lo = mix64(k.lo ^ (n << 1));
+  return k;
+}
+
+}  // namespace
+
+CacheKey key_of(const chem::BitSet& fingerprint) {
+  const auto& w = fingerprint.words();
+  return digest(w.data(), w.size(),
+                static_cast<std::uint64_t>(fingerprint.size()));
+}
+
+CacheKey key_of(const chem::Image& image) {
+  // Hash the float planes as raw little-endian words; depictions are
+  // deterministic, so byte-identical images produce identical keys.
+  std::vector<std::uint64_t> words((image.data.size() * sizeof(float) + 7) / 8,
+                                   0);
+  if (!image.data.empty())
+    std::memcpy(words.data(), image.data.data(),
+                image.data.size() * sizeof(float));
+  const std::uint64_t salt =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(image.channels))
+       << 42) ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(image.height))
+       << 21) ^
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(image.width));
+  return digest(words.data(), words.size(), salt);
+}
+
+ShardedScoreCache::ShardedScoreCache(const CacheOptions& opts) {
+  if (opts.capacity == 0) return;  // disabled
+  const int n = std::max(1, opts.shards);
+  // Every shard holds at least one entry so a tiny capacity still caches.
+  per_shard_capacity_ =
+      std::max<std::size_t>(1, opts.capacity / static_cast<std::size_t>(n));
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+int ShardedScoreCache::shard_of(const CacheKey& key) const {
+  return static_cast<int>(key.hi % shards_.size());
+}
+
+std::optional<float> ShardedScoreCache::lookup(const CacheKey& key) {
+  if (!enabled()) return std::nullopt;
+  Shard& s = *shards_[static_cast<std::size_t>(shard_of(key))];
+  std::lock_guard lk(s.mu);
+  const auto it = s.entries.find(key);
+  if (it == s.entries.end()) {
+    ++s.misses;
+    return std::nullopt;
+  }
+  ++s.hits;
+  s.recency.splice(s.recency.begin(), s.recency, it->second.second);
+  return it->second.first;
+}
+
+void ShardedScoreCache::insert(const CacheKey& key, float score) {
+  if (!enabled()) return;
+  Shard& s = *shards_[static_cast<std::size_t>(shard_of(key))];
+  std::lock_guard lk(s.mu);
+  if (const auto it = s.entries.find(key); it != s.entries.end()) {
+    // Refresh: the score for a key is immutable (same content -> same
+    // model output), so only the recency moves.
+    s.recency.splice(s.recency.begin(), s.recency, it->second.second);
+    return;
+  }
+  if (s.entries.size() >= per_shard_capacity_) {
+    s.entries.erase(s.recency.back());
+    s.recency.pop_back();
+    ++s.evictions;
+  }
+  s.recency.push_front(key);
+  s.entries.emplace(key, std::make_pair(score, s.recency.begin()));
+  ++s.insertions;
+}
+
+CacheStats ShardedScoreCache::stats() const {
+  CacheStats out;
+  out.shards = shards_.size();
+  for (const auto& sp : shards_) {
+    std::lock_guard lk(sp->mu);
+    out.hits += sp->hits;
+    out.misses += sp->misses;
+    out.insertions += sp->insertions;
+    out.evictions += sp->evictions;
+    out.size += sp->entries.size();
+  }
+  return out;
+}
+
+}  // namespace impeccable::serve

@@ -1,0 +1,98 @@
+#pragma once
+// Sharded fingerprint -> score cache for the inference service.
+//
+// The ML1 surrogate screens libraries where the same ligand arrives many
+// times (overlapping vendor libraries, Sec. 7.1; re-scored leads across
+// campaign iterations). A cache in front of SurrogateModel::predict_batch
+// turns those repeats into lookups that cost ~100 ns instead of a CNN
+// forward. Keys are 128-bit content digests of the ligand fingerprint (or
+// depiction image), so two requests collide only if their content hashes
+// collide; scores served from the cache are the bitwise-identical floats
+// the model produced on first sight.
+//
+// Concurrency: the table is split into N independently-locked shards
+// (shard = key.hi mod N). Threads touching different shards never contend;
+// within a shard an exact LRU is maintained (intrusive recency list +
+// ordered map). Hit/miss/insert/evict counters are kept per shard under the
+// same lock and aggregated by stats().
+
+#include <cstdint>
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "impeccable/chem/depiction.hpp"
+#include "impeccable/chem/fingerprint.hpp"
+
+namespace impeccable::serve {
+
+/// 128-bit content digest used as the cache key. Value type, totally
+/// ordered so shards can use deterministic ordered maps.
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  friend auto operator<=>(const CacheKey&, const CacheKey&) = default;
+};
+
+/// Digest of a molecular fingerprint (the canonical ligand identity used by
+/// the serving layer — chem::morgan_fingerprint of the request molecule).
+CacheKey key_of(const chem::BitSet& fingerprint);
+/// Digest of a depiction image (exact featurization identity: two requests
+/// share a key iff their CNN inputs are byte-identical).
+CacheKey key_of(const chem::Image& image);
+
+struct CacheOptions {
+  int shards = 8;               ///< independently-locked partitions
+  std::size_t capacity = 4096;  ///< total entries across shards; 0 disables
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;    ///< resident entries
+  std::size_t shards = 0;  ///< shard count (0 when disabled)
+};
+
+class ShardedScoreCache {
+ public:
+  explicit ShardedScoreCache(const CacheOptions& opts = {});
+
+  /// False when constructed with capacity 0: lookups miss, inserts drop.
+  bool enabled() const { return !shards_.empty(); }
+
+  /// Score for `key` if resident (refreshes its recency), else nullopt.
+  std::optional<float> lookup(const CacheKey& key);
+
+  /// Insert (or refresh) `key`; evicts the shard's LRU entry at capacity.
+  void insert(const CacheKey& key, float score);
+
+  /// Aggregated over all shards; consistent per shard, not across shards.
+  CacheStats stats() const;
+
+  /// Which shard owns `key` (stable; exposed for shard-independence tests).
+  int shard_of(const CacheKey& key) const;
+  std::size_t shard_capacity() const { return per_shard_capacity_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Most-recently-used at the front; back is the eviction victim.
+    std::list<CacheKey> recency;
+    std::map<CacheKey, std::pair<float, std::list<CacheKey>::iterator>>
+        entries;
+    std::uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0;
+  };
+
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace impeccable::serve

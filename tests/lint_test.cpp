@@ -38,6 +38,12 @@ TEST(LintClassify, PathClasses) {
   EXPECT_TRUE(
       lint::classify("src/impeccable/core/stages/ml1_stage.cpp").in_stages);
   EXPECT_FALSE(lint::classify("tests/lint_test.cpp").in_src);
+
+  auto serve = lint::classify("src/impeccable/serve/server.cpp");
+  EXPECT_TRUE(serve.in_serve);
+  EXPECT_TRUE(serve.in_src) << "serve/ must inherit the src/-wide rules";
+  // A serve/ directory outside src/ (e.g. tests fixtures) is not the class.
+  EXPECT_FALSE(lint::classify("tests/serve/fake.cpp").in_serve);
 }
 
 TEST(LintRules, NondetSourceFires) {
@@ -149,6 +155,36 @@ TEST(LintRules, UnorderedInStages) {
   // Outside core/stages/ the containers are allowed (md's exclusion set).
   EXPECT_TRUE(lint_as("src/impeccable/md/forcefield.hpp",
                       "#pragma once\n" + std::string(bad))
+                  .empty());
+}
+
+TEST(LintRules, ServeInheritsSrcRules) {
+  // The serving layer is library code: wall-clock sources and iostream
+  // writes are findings exactly as anywhere else under src/.
+  EXPECT_FALSE(lint_as("src/impeccable/serve/server.cpp",
+                       "void f() { auto t = time(nullptr); (void)t; }\n")
+                   .empty());
+  EXPECT_FALSE(lint_as("src/impeccable/serve/loadgen.cpp",
+                       "#include <iostream>\nvoid f() { std::cout << 1; }\n")
+                   .empty());
+}
+
+TEST(LintRules, DetachedThreadFiresOnlyInServe) {
+  const char* bad = "void f(std::thread& t) { t.detach(); }\n";
+  auto diags = lint_as("src/impeccable/serve/server.cpp", bad);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "no-detached-thread");
+  // Other modules (and non-src serve/ paths) are out of scope.
+  EXPECT_TRUE(lint_as("src/impeccable/common/thread_pool.cpp", bad).empty());
+  EXPECT_TRUE(lint_as("tests/serve_test.cpp", bad).empty());
+  // Only the member-call shape fires: a function named detach is fine.
+  EXPECT_TRUE(lint_as("src/impeccable/serve/x.cpp",
+                      "void detach(); void g() { detach(); }\n")
+                  .empty());
+  // Suppressible like every rule.
+  EXPECT_TRUE(lint_as("src/impeccable/serve/x.cpp",
+                      "void f(std::thread& t) { t.detach(); }  "
+                      "// lint:allow(no-detached-thread)\n")
                   .empty());
 }
 

@@ -323,6 +323,58 @@ TEST(ObsMetrics, HistogramZeroNegativeNanEdgeCases) {
   }
 }
 
+TEST(ObsMetrics, QuantileEmptyAndSingleValue) {
+  obs::Histogram h({1.0, 100.0, 2});
+  EXPECT_TRUE(std::isnan(h.quantile(0.5))) << "no data, no quantile";
+
+  h.observe(7.0);
+  // One sample: every quantile clips to the only observed value.
+  for (double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_DOUBLE_EQ(h.quantile(q), 7.0);
+}
+
+TEST(ObsMetrics, QuantileInterpolatesWithinBuckets) {
+  // Two decade buckets [1, 10) and [10, 100), four samples in each.
+  obs::Histogram h({1.0, 100.0, 2});
+  for (double v : {2.0, 3.0, 4.0, 5.0, 20.0, 30.0, 40.0, 50.0}) h.observe(v);
+
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);  // p0 = observed min
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0)  // p100 = observed max (clipped)
+      << "upper bucket edge must clip to the observed max";
+  // rank 2 of 4 in [1, 10): halfway through the bucket span.
+  EXPECT_NEAR(h.quantile(0.25), 5.5, 1e-9);
+  // rank 4 lands exactly on the first bucket's upper edge.
+  EXPECT_NEAR(h.quantile(0.5), 10.0, 1e-9);
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(ObsMetrics, QuantileCoversUnderflowAndOverflow) {
+  obs::Histogram h({1.0, 100.0, 2});
+  h.observe(0.5);  // underflow
+  h.observe(200.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 200.0);
+  // The underflow "bucket" spans [min, lower): rank 0.5 of 1 is its middle.
+  EXPECT_NEAR(h.quantile(0.25), 0.75, 1e-9);
+}
+
+TEST(ObsMetrics, QuantileIsMonotoneInQ) {
+  obs::Histogram h;  // default log-spaced spec
+  for (int i = 1; i <= 1000; ++i) h.observe(i * 1e-3);
+  double prev = h.quantile(0.0);
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    // Log-spaced buckets bound relative error: the estimate must stay
+    // within one bucket ratio of the true order statistic.
+    const double truth = q == 0.0 ? 1e-3 : q;
+    EXPECT_GT(v, truth * 0.7) << "q=" << q;
+    EXPECT_LT(v, truth * 1.5) << "q=" << q;
+    prev = v;
+  }
+}
+
 TEST(ObsMetrics, SnapshotIsDeterministic) {
   obs::MetricsRegistry reg;
   reg.counter("z.last").add(3);

@@ -369,6 +369,21 @@ void rule_unordered_in_stages(const Scan& scan, Sink& sink) {
   }
 }
 
+void rule_detached_thread(const Scan& scan, Sink& sink) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (!t.is_ident || t.text != "detach") continue;
+    // Member-call shape only: `x.detach()` / `p->detach()`. A free function
+    // or a declaration named detach is not a finding.
+    if (!is_member_access(toks, i) || !next_is(toks, i, "(")) continue;
+    sink.report(t.line, "no-detached-thread",
+                "detach() in serve/: a detached worker outlives shutdown and "
+                "may touch a destructed model/cache/queue; keep the handle "
+                "joinable and join it on the shutdown path");
+  }
+}
+
 }  // namespace
 
 FileClass classify(std::string_view rel_path) {
@@ -383,6 +398,7 @@ FileClass classify(std::string_view rel_path) {
                          base.rfind("grid.", 0) == 0;
   }
   cls.in_stages = p.find("core/stages/") != std::string::npos;
+  cls.in_serve = cls.in_src && p.find("/serve/") != std::string::npos;
   return cls;
 }
 
@@ -400,6 +416,7 @@ std::vector<Diagnostic> lint_source(std::string_view text,
   if (cls.in_dock_scorer) rule_naked_alloc(scan, sink);
   if (cls.is_header) rule_pragma_once(scan, sink);
   if (cls.in_stages) rule_unordered_in_stages(scan, sink);
+  if (cls.in_serve) rule_detached_thread(scan, sink);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a,
                                        const Diagnostic& b) {
     if (a.file != b.file) return a.file < b.file;

@@ -41,6 +41,13 @@
 //                       hazard. Use std::map/std::vector or sort first —
 //                       the rule bans the tokens outright so reviewers see
 //                       an explicit suppression where one is truly safe.
+//   no-detached-thread  serve/ only. thread.detach() in a long-lived
+//                       service leaks a worker the server cannot join at
+//                       shutdown — it may still touch a destructed model,
+//                       cache, or queue. Every serve/ thread is owned by a
+//                       joinable handle whose shutdown path joins it.
+//                       (serve/ is under src/, so it also inherits
+//                       no-nondet-source and no-iostream-in-lib.)
 //
 // Suppressions:
 //   // lint:allow(rule-id)            this line (or a /*...*/ starting on it)
@@ -71,6 +78,7 @@ struct FileClass {
   bool is_header = false;       ///< .hpp or .h
   bool in_dock_scorer = false;  ///< dock/score*, dock/grid.* (incl. score_batch.*)
   bool in_stages = false;       ///< under core/stages/
+  bool in_serve = false;        ///< under src/impeccable/serve/
 };
 
 /// Classify a repo-relative path ("src/impeccable/dock/score.cpp").
