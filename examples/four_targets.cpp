@@ -1,14 +1,18 @@
 // Multi-target campaign: the paper screens "the four main target SARS-CoV-2
 // proteins, namely 3CLPro, PLPro, ADRP and NSP15" (Sec. 7.1.1), each with
-// multiple crystal structures. This example runs a small campaign per target
-// and prints a per-target hit table — the shape of the NVBL production
-// campaign at demo scale.
+// multiple crystal structures — concurrently, through ONE shared EnTK
+// infrastructure (Sec. 6.1.2), not one campaign per target. This example
+// runs all four through a single MultiCampaign on one backend: the shared
+// priority scheduler interleaves the targets' stage waves, a HitRatePolicy
+// re-weights targets by realized hit rate after each docking merge, and each
+// target's science stays bitwise identical to what its own standalone run
+// would produce.
 //
 //   $ ./examples/four_targets
 
 #include <cstdio>
 
-#include "impeccable/core/campaign.hpp"
+#include "impeccable/core/multi_campaign.hpp"
 
 namespace core = impeccable::core;
 namespace fe = impeccable::fe;
@@ -21,43 +25,61 @@ int main() {
   const TargetSpec specs[] = {
       {"3CLPro", 301}, {"PLPro", 609}, {"ADRP", 1102}, {"NSP15", 1504}};
 
-  core::CampaignConfig cfg;
-  cfg.library_size = 80;
-  cfg.iterations = 1;
-  cfg.bootstrap_docks = 20;
-  cfg.cg_compounds = 4;
-  cfg.top_binders = 2;
-  cfg.outliers_per_binder = 1;
-  cfg.dock.runs = 1;
-  cfg.dock.lga.population = 16;
-  cfg.dock.lga.generations = 8;
-  cfg.esmacs_cg = fe::cg_config(0.3);
-  cfg.esmacs_cg.replicas = 3;
-  cfg.esmacs_fg = fe::fg_config(0.08);
-  cfg.esmacs_fg.replicas = 4;
-  cfg.aae.epochs = 3;
+  // The science slice: what is screened and how hard — per target.
+  core::ScienceConfig science;
+  science.library_size = 80;
+  science.iterations = 1;
+  science.bootstrap_docks = 20;
+  science.cg_compounds = 4;
+  science.top_binders = 2;
+  science.outliers_per_binder = 1;
+  science.dock.runs = 1;
+  science.dock.lga.population = 16;
+  science.dock.lga.generations = 8;
+  science.esmacs_cg = fe::cg_config(0.3);
+  science.esmacs_cg.replicas = 3;
+  science.esmacs_fg = fe::fg_config(0.08);
+  science.esmacs_fg.replicas = 4;
+  science.aae.epochs = 3;
+
+  // The execution slice: how the shared run is driven — one for all four.
+  core::ExecConfig exec;
+  exec.threads = 0;  // LocalBackend default: hardware concurrency
+
+  core::HitRatePolicy policy;  // rich targets outbid stale ones
+  core::MultiCampaignOptions opts;
+  opts.policy = &policy;
+  core::MultiCampaign campaign(exec, opts);
+  for (const auto& spec : specs) {
+    core::ScienceConfig sci = science;
+    sci.library_seed = spec.seed;  // per-target bootstrap sample
+    campaign.add_target(
+        core::Target::make(spec.name, spec.seed, 40, 21, /*crystals=*/2),
+        sci);
+  }
 
   std::printf("four-target campaign: %zu-compound library per target, "
-              "2 crystal structures each\n\n", cfg.library_size);
+              "2 crystal structures each, one shared backend\n\n",
+              science.library_size);
+  const auto out = campaign.run();
+
   std::printf("%-8s %-8s %-8s %-12s %-34s\n", "target", "docked", "CG",
               "best dG(CG)", "best compound");
-
-  for (const auto& spec : specs) {
-    core::Target target =
-        core::Target::make(spec.name, spec.seed, 40, 21, /*crystals=*/2);
-    cfg.seed = spec.seed;  // per-target bootstrap sample
-    core::Campaign campaign(std::move(target), cfg);
-    const auto report = campaign.run();
+  for (std::size_t i = 0; i < out.reports.size(); ++i) {
+    const auto& report = out.reports[i];
     const auto ranking = report.cg_ranking();
     const auto& it = report.iterations.front();
     if (!ranking.empty()) {
-      std::printf("%-8s %-8zu %-8zu %-12.2f %s\n", spec.name, it.docked,
-                  it.cg_runs, ranking.front()->cg_energy,
+      std::printf("%-8s %-8zu %-8zu %-12.2f %s\n", out.targets[i].c_str(),
+                  it.docked, it.cg_runs, ranking.front()->cg_energy,
                   ranking.front()->smiles.c_str());
     }
   }
-  std::printf("\n(each row is an independent IMPECCABLE campaign; the "
-              "production run screened over a dozen targets and 4.2e9 "
-              "ligands, Sec. 8.)\n");
+  std::printf("\nshared graph: %zu stage nodes, %zu tasks, %zu retries\n",
+              out.graph.nodes.size(), out.graph.completed(),
+              out.graph.retries);
+  std::printf("(all rows ran through one stage graph under priority "
+              "scheduling; the production run screened over a dozen targets "
+              "and 4.2e9 ligands, Sec. 8.)\n");
   return 0;
 }

@@ -18,32 +18,36 @@ namespace core = impeccable::core;
 namespace fe = impeccable::fe;
 
 int main(int argc, char** argv) {
-  core::CampaignConfig cfg;
-  cfg.library_size = 120;
-  cfg.iterations = 2;
-  cfg.bootstrap_docks = 24;
-  cfg.dock_top_fraction = 0.20;
-  cfg.cg_compounds = 6;
-  cfg.top_binders = 2;
-  cfg.outliers_per_binder = 2;
-  cfg.dock.runs = 2;
-  cfg.dock.lga.population = 24;
-  cfg.dock.lga.generations = 10;
-  cfg.esmacs_cg = fe::cg_config(0.4);
-  cfg.esmacs_cg.replicas = 4;
-  cfg.esmacs_fg = fe::fg_config(0.15);
-  cfg.esmacs_fg.replicas = 6;
-  cfg.surrogate.epochs = 5;
-  cfg.aae.epochs = 5;
+  // Science (what to screen, how hard) and execution (how to drive the run)
+  // are separate configs; Campaign composes them.
+  core::ScienceConfig sci;
+  sci.library_size = 120;
+  sci.iterations = 2;
+  sci.bootstrap_docks = 24;
+  sci.dock_top_fraction = 0.20;
+  sci.cg_compounds = 6;
+  sci.top_binders = 2;
+  sci.outliers_per_binder = 2;
+  sci.dock.runs = 2;
+  sci.dock.lga.population = 24;
+  sci.dock.lga.generations = 10;
+  sci.esmacs_cg = fe::cg_config(0.4);
+  sci.esmacs_cg.replicas = 4;
+  sci.esmacs_fg = fe::fg_config(0.15);
+  sci.esmacs_fg.replicas = 6;
+  sci.surrogate.epochs = 5;
+  sci.aae.epochs = 5;
+
+  core::ExecConfig exec;
   for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--pipelined") == 0) cfg.pipeline_iterations = true;
+    if (std::strcmp(argv[i], "--pipelined") == 0) exec.pipeline_iterations = true;
 
   std::printf("IMPECCABLE campaign: library %zu, %d iterations%s\n\n",
-              cfg.library_size, cfg.iterations,
-              cfg.pipeline_iterations ? " (cross-iteration pipelining)" : "");
+              sci.library_size, sci.iterations,
+              exec.pipeline_iterations ? " (cross-iteration pipelining)" : "");
 
   core::Target target = core::Target::make("PLPro-like", /*seed=*/6209, 50, 23);
-  core::Campaign campaign(std::move(target), cfg);
+  core::Campaign campaign(std::move(target), sci, exec);
   const auto report = campaign.run();
 
   // One JSON object per iteration (the obs::json path every tool consumes).

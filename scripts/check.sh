@@ -7,8 +7,9 @@
 #      suite;
 #   3. ubsan preset (-fsanitize=undefined, errors fatal): full suite;
 #   4. tsan preset: the concurrency-sensitive subsets (obs + graph + serve
-#      labels — serve covers the inference server's worker/submitter paths
-#      and the concurrent SurrogateModel::predict_batch contract);
+#      + multi labels — serve covers the inference server's worker/submitter
+#      paths and the concurrent SurrogateModel::predict_batch contract;
+#      multi covers shared-backend multi-target campaign runs);
 #   5. native preset (-march=native Release): the `dock`-labelled suite —
 #      the batched SIMD scorer's bitwise-equivalence gate must hold under
 #      the widest vectorization the host supports, not just the portable
@@ -71,6 +72,9 @@ ctest --preset tsan-graph -j "$JOBS"
 
 echo "== tsan: serve-labeled tests =="
 ctest --preset tsan-serve -j "$JOBS"
+
+echo "== tsan: multi-labeled tests (shared-backend multi-target campaigns) =="
+ctest --preset tsan-multi -j "$JOBS"
 
 echo "== configure + build (native preset: -march=native Release) =="
 cmake --preset native -DIMPECCABLE_WERROR=ON

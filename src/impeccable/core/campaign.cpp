@@ -3,10 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
-#include "impeccable/core/stages/graph_builder.hpp"
-#include "impeccable/ml/gemm.hpp"
+#include "impeccable/core/multi_campaign.hpp"
 #include "impeccable/obs/json.hpp"
-#include "impeccable/obs/recorder.hpp"
 #include "impeccable/rct/backend.hpp"
 
 namespace impeccable::core {
@@ -38,51 +36,27 @@ Target Target::make(const std::string& name, std::uint64_t seed,
 Campaign::Campaign(Target target, const CampaignConfig& config)
     : target_(std::move(target)), config_(config) {}
 
+Campaign::Campaign(Target target, ScienceConfig science, ExecConfig exec)
+    : target_(std::move(target)),
+      config_(std::move(science), std::move(exec)) {}
+
 CampaignReport Campaign::run() {
   rct::LocalBackend local(config_.threads);
   return run(local);
 }
 
 CampaignReport Campaign::run(rct::ExecutionBackend& raw) {
-  CampaignReport report;
-
-  rct::ProfiledBackend backend(raw, config_.recorder);
-  // Every instrumented layer below (dock, ml, fe, pool) records through the
-  // global recorder; restored on scope exit.
-  obs::ScopedRecorder scoped(&backend.trace_recorder());
-  // The ML1 surrogate picks the pool up through the process-wide compute
-  // pool (restored on exit so nothing dangles past the backend's lifetime).
-  struct PoolGuard {
-    common::ThreadPool* prev;
-    explicit PoolGuard(common::ThreadPool* p) : prev(ml::set_compute_pool(p)) {}
-    ~PoolGuard() { ml::set_compute_pool(prev); }
-  } pool_guard(raw.compute_pool());
-
-  auto state = std::make_shared<stages::CampaignState>();
-  state->target = &target_;
-  state->config = &config_;
-  state->backend = &backend;
-  state->report = &report;
-  state->init();
-
-  report.iterations.resize(static_cast<std::size_t>(config_.iterations));
-  for (int i = 0; i < config_.iterations; ++i)
-    report.iterations[static_cast<std::size_t>(i)].iteration = i;
-
-  rct::AppManagerOptions mopts;
-  mopts.max_retries = config_.max_retries;
-  mopts.stage_transition_overhead = config_.stage_transition_overhead;
-  rct::AppManager manager(backend, mopts);
-
-  rct::StageGraph graph;
-  stages::add_campaign_graph(graph, state, config_.iterations,
-                             config_.pipeline_iterations);
-  manager.run_graph(std::move(graph));
-
-  if (common::ThreadPool* pool = raw.compute_pool())
-    pool->publish_metrics(backend.trace_recorder().metrics());
-  report.profile = backend.profile();
-  return report;
+  // The single-target campaign is the one-entry special case of the
+  // multi-target engine. FIFO ready order and no node priorities keep the
+  // historical scheduling exactly; the science would be identical either
+  // way (priorities are scheduling-only).
+  MultiCampaignOptions opts;
+  opts.ready_order = rct::AppManagerOptions::ReadyOrder::kFifo;
+  opts.critical_path_priority = false;
+  MultiCampaign multi(config_.exec(), opts);
+  multi.add_target(target_, config_.science());
+  MultiCampaignReport rep = multi.run(raw);
+  return std::move(rep.reports.front());
 }
 
 void IterationMetrics::to_json(std::ostream& os) const {

@@ -48,7 +48,12 @@ struct Target {
                      int crystal_structures = 1);
 };
 
-struct CampaignConfig {
+/// Per-target science parameters: everything that decides WHAT the campaign
+/// computes — library, budgets, fractions, engine options. Two targets in
+/// one MultiCampaign each carry their own ScienceConfig; the science
+/// fingerprint is a pure function of (Target, ScienceConfig, ExecConfig
+/// seeds) and never of scheduling.
+struct ScienceConfig {
   std::size_t library_size = 400;
   std::uint64_t library_seed = 2020;
   std::string library_name = "OZD";
@@ -93,7 +98,14 @@ struct CampaignConfig {
   fe::EsmacsConfig esmacs_fg = fe::fg_config(0.25);
   ml::SurrogateOptions surrogate;
   ml::AaeOptions aae;
+};
 
+/// Shared execution parameters: everything that decides HOW the campaign
+/// runs — threads, seeds, retries, overheads, pipelining, checkpointing,
+/// observability. One ExecConfig is shared by every target of a
+/// MultiCampaign. None of these fields may change a science_fingerprint()
+/// except `seed` (the base of the functional per-item seed derivation).
+struct ExecConfig {
   std::size_t threads = 0;  ///< LocalBackend worker threads (0 = hardware)
   std::uint64_t seed = 0xca4'9a19ULL;
 
@@ -141,6 +153,18 @@ struct CampaignConfig {
   /// docked/estimated compounds are restored and re-seed the ML1 training
   /// set, so a resumed campaign does not redo finished work.
   std::string resume_checkpoint;
+};
+
+/// Compatibility aggregate: the historical flat config is exactly the two
+/// slices joined, so every existing `cfg.field = ...` call site compiles
+/// unchanged while new code passes the slices separately.
+struct CampaignConfig : ScienceConfig, ExecConfig {
+  CampaignConfig() = default;
+  CampaignConfig(ScienceConfig science, ExecConfig exec)
+      : ScienceConfig(std::move(science)), ExecConfig(std::move(exec)) {}
+
+  const ScienceConfig& science() const { return *this; }
+  const ExecConfig& exec() const { return *this; }
 };
 
 /// Per-compound record accumulated across the campaign.
@@ -200,6 +224,8 @@ struct CampaignReport {
 class Campaign {
  public:
   Campaign(Target target, const CampaignConfig& config);
+  /// Split-config form: per-target science plus shared execution settings.
+  Campaign(Target target, ScienceConfig science, ExecConfig exec);
 
   /// Run the full campaign (blocking). Uses a LocalBackend internally.
   CampaignReport run();

@@ -1,0 +1,155 @@
+#include "impeccable/core/multi_campaign.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "impeccable/ml/gemm.hpp"
+#include "impeccable/obs/recorder.hpp"
+#include "impeccable/rct/backend.hpp"
+
+namespace impeccable::core {
+
+MultiCampaign::MultiCampaign(ExecConfig exec, MultiCampaignOptions opts)
+    : exec_(std::move(exec)), opts_(opts) {}
+
+std::size_t MultiCampaign::add_target(Target target, ScienceConfig science) {
+  auto e = std::make_unique<Entry>();
+  e->name = target.name;
+  e->target = std::move(target);
+  e->science = std::move(science);
+  entries_.push_back(std::move(e));
+  return entries_.size() - 1;
+}
+
+std::size_t MultiCampaign::add_virtual_target(std::string name, int iterations,
+                                              stages::ScaleModel scale) {
+  auto e = std::make_unique<Entry>();
+  e->name = std::move(name);
+  e->scale = scale;
+  e->iterations = iterations;
+  e->is_virtual = true;
+  entries_.push_back(std::move(e));
+  return entries_.size() - 1;
+}
+
+MultiCampaignReport MultiCampaign::run() {
+  rct::LocalBackend local(exec_.threads);
+  return run(local);
+}
+
+MultiCampaignReport MultiCampaign::run(rct::ExecutionBackend& raw) {
+  MultiCampaignReport out;
+
+  rct::ProfiledBackend backend(raw, exec_.recorder);
+  // Every instrumented layer below (dock, ml, fe, pool) records through the
+  // global recorder; restored on scope exit.
+  obs::ScopedRecorder scoped(&backend.trace_recorder());
+  struct PoolGuard {
+    common::ThreadPool* prev;
+    explicit PoolGuard(common::ThreadPool* p) : prev(ml::set_compute_pool(p)) {}
+    ~PoolGuard() { ml::set_compute_pool(prev); }
+  } pool_guard(raw.compute_pool());
+
+  out.reports.resize(entries_.size());
+  std::vector<std::shared_ptr<stages::CampaignState>> states;
+  std::vector<std::vector<stages::CampaignGraphIds>> ids(entries_.size());
+  rct::StageGraph graph;
+
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = *entries_[i];
+    out.targets.push_back(e.name);
+
+    // Compose the per-target view fresh each run (idempotent), suffixing
+    // checkpoint files per target when more than one shares the ExecConfig.
+    e.config = CampaignConfig(e.science, exec_);
+    if (entries_.size() > 1) {
+      if (!e.config.checkpoint_path.empty())
+        e.config.checkpoint_path += "." + e.name;
+      if (!e.config.resume_checkpoint.empty())
+        e.config.resume_checkpoint += "." + e.name;
+    }
+
+    CampaignReport& report = out.reports[i];
+    auto state = std::make_shared<stages::CampaignState>();
+    state->config = &e.config;
+    state->backend = &backend;
+    state->report = &report;
+    int iters = 0;
+    if (e.is_virtual) {
+      state->scale = &e.scale;
+      iters = e.iterations;
+    } else {
+      state->target = &e.target;
+      state->init();
+      iters = e.config.iterations;
+    }
+    report.iterations.resize(static_cast<std::size_t>(iters));
+    for (int it = 0; it < iters; ++it)
+      report.iterations[static_cast<std::size_t>(it)].iteration = it;
+
+    stages::CampaignGraphOptions gopts;
+    gopts.critical_path_priority = opts_.critical_path_priority;
+    if (opts_.policy && !e.is_virtual) {
+      Entry* entry = &e;
+      CampaignReport* rep = &report;
+      const std::vector<stages::CampaignGraphIds>* target_ids = &ids[i];
+      gopts.on_s1_merged = [this, entry, i, rep,
+                            target_ids](rct::StageGraph& g, int iter) {
+        apply_policy(g, *entry, i, iter, *rep, *target_ids);
+      };
+    }
+    ids[i] = stages::add_campaign_graph(graph, state, iters,
+                                        e.config.pipeline_iterations, gopts);
+    states.push_back(std::move(state));
+  }
+
+  rct::AppManagerOptions mopts;
+  mopts.max_retries = exec_.max_retries;
+  mopts.stage_transition_overhead = exec_.stage_transition_overhead;
+  mopts.ready_order = opts_.ready_order;
+  rct::AppManager manager(backend, mopts);
+  out.graph = manager.run_graph(std::move(graph));
+
+  if (common::ThreadPool* pool = raw.compute_pool())
+    pool->publish_metrics(backend.trace_recorder().metrics());
+  out.profile = backend.profile();
+  for (CampaignReport& r : out.reports) r.profile = out.profile;
+  return out;
+}
+
+void MultiCampaign::apply_policy(
+    rct::StageGraph& graph, Entry& entry, std::size_t index, int iteration,
+    const CampaignReport& report,
+    const std::vector<stages::CampaignGraphIds>& ids) const {
+  TargetProgress p;
+  p.target = index;
+  p.iteration = iteration;
+  for (const auto& [id, rec] : report.compounds) {
+    if (!rec.docked) continue;
+    ++p.docked;
+    if (rec.dock_score <= opts_.hit_threshold) ++p.hits;
+    p.best_dock_score =
+        p.docked == 1 ? rec.dock_score : std::min(p.best_dock_score, rec.dock_score);
+  }
+  const double boost = opts_.policy->priority_boost(p);
+
+  // Re-weight everything of this target the scheduler has not committed
+  // yet: this iteration's ensemble tail and all later iterations. Launched
+  // nodes keep the priority they ran with (set_priority on them is inert).
+  stages::StageTails t;
+  if (opts_.critical_path_priority)
+    t = stages::stage_tails(entry.config.sim_durations);
+  graph.set_priority(ids[static_cast<std::size_t>(iteration)].cg, t.cg + boost);
+  graph.set_priority(ids[static_cast<std::size_t>(iteration)].s2, t.s2 + boost);
+  graph.set_priority(ids[static_cast<std::size_t>(iteration)].fg, t.fg + boost);
+  for (std::size_t j = static_cast<std::size_t>(iteration) + 1; j < ids.size();
+       ++j) {
+    graph.set_priority(ids[j].ml1, t.ml1 + boost);
+    graph.set_priority(ids[j].s1, t.s1 + boost);
+    graph.set_priority(ids[j].cg, t.cg + boost);
+    graph.set_priority(ids[j].s2, t.s2 + boost);
+    graph.set_priority(ids[j].fg, t.fg + boost);
+  }
+}
+
+}  // namespace impeccable::core

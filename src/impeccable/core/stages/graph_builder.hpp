@@ -4,6 +4,7 @@
 // feedback edge. Used by Campaign::run() and by the scale benches (which
 // install a ScaleModel on the state and run the same graph on a SimBackend).
 
+#include <functional>
 #include <memory>
 
 #include "impeccable/core/stages/campaign_state.hpp"
@@ -17,6 +18,25 @@ struct CampaignGraphIds {
   rct::NodeId cg = rct::kNoNode;
   rct::NodeId s2 = rct::kNoNode;
   rct::NodeId fg = rct::kNoNode;
+};
+
+struct CampaignGraphOptions {
+  /// Assign critical-path node priorities from config->sim_durations: each
+  /// node's priority is the ensemble tail it gates within its iteration
+  /// (CG -> cg+s2+fg, S2 -> s2+fg, FG -> fg, ML1 -> ml1+cg+s2+fg since it
+  /// gates the whole chain at near-zero cost, S1 -> dock), so
+  /// under ReadyOrder::kPriority the long CG/S2/FG waves that gate the
+  /// pipelined makespan preempt bulk ML1/S1 work in the backend queues.
+  /// Scheduling-only: priorities never change what any stage computes.
+  bool critical_path_priority = false;
+  /// Added to every node priority of this graph — the per-target weight a
+  /// TargetPolicy steers (rich targets outbid stale ones).
+  double priority_bias = 0.0;
+  /// Runs (serialized with all merges) right after iteration `iter`'s S1
+  /// feedback merge — the earliest point realized hit rates exist.
+  /// MultiCampaign re-weights this target's not-yet-launched nodes from
+  /// here via StageGraph::set_priority.
+  std::function<void(rct::StageGraph&, int iter)> on_s1_merged;
 };
 
 /// Add `iterations` campaign iterations to `graph` over the shared state.
@@ -34,6 +54,18 @@ struct CampaignGraphIds {
 /// Returns the node ids of every iteration, in order.
 std::vector<CampaignGraphIds> add_campaign_graph(
     rct::StageGraph& graph, const std::shared_ptr<CampaignState>& state,
-    int iterations, bool pipelined);
+    int iterations, bool pipelined, const CampaignGraphOptions& opts = {});
+
+/// The per-stage critical-path priorities used under
+/// CampaignGraphOptions::critical_path_priority (before priority_bias).
+struct StageTails {
+  double ml1 = 0.0, s1 = 0.0, cg = 0.0, s2 = 0.0, fg = 0.0;
+};
+/// Real campaigns: per-task sim durations, same tails for every target.
+StageTails stage_tails(const ExecConfig::StageDurations& d);
+/// Virtual campaigns: aggregate remaining node-seconds of the target's own
+/// ScaleModel, so heterogeneous co-scheduled targets rank against each
+/// other (used automatically when CampaignState::scale is set).
+StageTails stage_tails(const ScaleModel& m);
 
 }  // namespace impeccable::core::stages

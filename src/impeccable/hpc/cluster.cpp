@@ -12,7 +12,11 @@ ClusterSim::ClusterSim(Simulator& sim, const MachineSpec& machine)
   record();
 }
 
-bool ClusterSim::try_place(const SlotRequest& req, Placement& out) {
+bool ClusterSim::try_place(const SlotRequest& req, Placement& out,
+                           const std::vector<char>* forbidden) {
+  const auto blocked = [forbidden](int i) {
+    return forbidden && (*forbidden)[static_cast<std::size_t>(i)];
+  };
   if (req.whole_nodes > 0) {
     if (req.whole_nodes > machine_.nodes)
       throw std::invalid_argument("ClusterSim: request larger than machine");
@@ -20,7 +24,8 @@ bool ClusterSim::try_place(const SlotRequest& req, Placement& out) {
     int run = 0;
     for (int i = 0; i < machine_.nodes; ++i) {
       const Node& n = nodes_[static_cast<std::size_t>(i)];
-      const bool free = n.free_cpus == machine_.cores_per_node &&
+      const bool free = !blocked(i) &&
+                        n.free_cpus == machine_.cores_per_node &&
                         n.free_gpus == machine_.gpus_per_node;
       run = free ? run + 1 : 0;
       if (run == req.whole_nodes) {
@@ -44,7 +49,7 @@ bool ClusterSim::try_place(const SlotRequest& req, Placement& out) {
     throw std::invalid_argument("ClusterSim: single-node request too large");
   for (int i = 0; i < machine_.nodes; ++i) {
     Node& n = nodes_[static_cast<std::size_t>(i)];
-    if (n.free_cpus >= req.cpus && n.free_gpus >= req.gpus) {
+    if (!blocked(i) && n.free_cpus >= req.cpus && n.free_gpus >= req.gpus) {
       n.free_cpus -= req.cpus;
       n.free_gpus -= req.gpus;
       out.first_node = i;
@@ -60,7 +65,13 @@ bool ClusterSim::try_place(const SlotRequest& req, Placement& out) {
 }
 
 void ClusterSim::submit(const SlotRequest& req, StartCallback on_start) {
-  queue_.push_back(Pending{req, std::move(on_start)});
+  // Keep the pending queue sorted by priority (descending); a new request
+  // goes after every queued request of equal or higher priority, so equal
+  // priorities preserve arrival order and all-zero priorities are pure FIFO.
+  auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), req.priority,
+      [](double p, const Pending& q) { return q.req.priority < p; });
+  queue_.insert(pos, Pending{req, std::move(on_start)});
   drain_queue();
 }
 
@@ -83,11 +94,58 @@ void ClusterSim::release(const SlotRequest& req, const Placement& where) {
   drain_queue();
 }
 
+void ClusterSim::reserve_draining_nodes(int count,
+                                        std::vector<char>& reserved) const {
+  if (count <= 0 || count > machine_.nodes) return;
+  // Bounded draining: reservations never claim more than half the machine,
+  // so backfill throughput survives while ensemble waves acquire nodes —
+  // freezing the whole machine for a blocked wave serializes the dock
+  // stream behind it and costs more than the starvation it prevents.
+  int already = 0;
+  for (char r : reserved) already += r ? 1 : 0;
+  if (already + count > machine_.nodes / 2) return;
+  // Pick the not-yet-reserved contiguous window of `count` nodes with the
+  // most free slots: it drains soonest, and whole-node placement needs a
+  // contiguous run, so reserving a window guarantees the run materializes.
+  int best = -1;
+  int best_free = -1;
+  for (int start = 0; start + count <= machine_.nodes; ++start) {
+    int free = 0;
+    bool available = true;
+    for (int i = start; i < start + count; ++i) {
+      if (reserved[static_cast<std::size_t>(i)]) {
+        available = false;
+        break;
+      }
+      const Node& n = nodes_[static_cast<std::size_t>(i)];
+      free += n.free_cpus + n.free_gpus;
+    }
+    if (available && free > best_free) {
+      best_free = free;
+      best = start;
+    }
+  }
+  if (best < 0) return;
+  for (int i = best; i < best + count; ++i)
+    reserved[static_cast<std::size_t>(i)] = 1;
+}
+
 void ClusterSim::drain_queue() {
   bool placed_any = false;
+  // Scan in queue (priority) order. A blocked whole-node request reserves a
+  // draining window; strictly-lower-priority requests behind it may not
+  // backfill onto the reserved nodes — otherwise a stream of single-GPU
+  // work refills every freed slot and whole-node ensemble waves starve.
+  // With all priorities equal (the historical FIFO case) nothing is ever
+  // restricted and this is the original aggressive backfill.
+  std::vector<char> reserved;
+  bool any_blocked = false;
+  double blocked_priority = 0.0;
   for (auto it = queue_.begin(); it != queue_.end();) {
+    const bool restricted =
+        any_blocked && it->req.priority < blocked_priority && !reserved.empty();
     Placement where;
-    if (try_place(it->req, where)) {
+    if (try_place(it->req, where, restricted ? &reserved : nullptr)) {
       // Fire the start callback via the event queue so start ordering is
       // well-defined and re-entrant submits are safe.
       auto cb = std::move(it->on_start);
@@ -95,6 +153,16 @@ void ClusterSim::drain_queue() {
       placed_any = true;
       sim_.schedule_in(0.0, [cb = std::move(cb), where] { cb(where); });
     } else {
+      if (it->req.whole_nodes > 0) {
+        if (reserved.empty()) reserved.assign(nodes_.size(), 0);
+        reserve_draining_nodes(it->req.whole_nodes, reserved);
+      }
+      if (!any_blocked) {
+        // The queue is priority-sorted, so the first blocked request holds
+        // the highest priority any blocked request will have.
+        any_blocked = true;
+        blocked_priority = it->req.priority;
+      }
       ++it;
     }
   }

@@ -19,6 +19,10 @@ struct SlotRequest {
   /// If > 0 the request claims this many whole nodes (multi-node MPI tasks,
   /// e.g. the AutoDock-GPU "single task running on several thousand nodes").
   int whole_nodes = 0;
+  /// Queue priority: the pending queue is kept ordered by priority
+  /// (descending), arrival order within a priority level. All-zero priorities
+  /// reproduce the original pure-FIFO backfill exactly.
+  double priority = 0.0;
 };
 
 /// Where a request landed (whole-node requests use first_node/node_count).
@@ -39,10 +43,15 @@ struct UtilizationSample {
 /// Simulated cluster bound to a Simulator clock.
 ///
 /// submit() places the request now if resources allow, otherwise queues it
-/// FIFO; when a running task releases resources the queue is re-scanned in
-/// order (conservative backfill: later tasks may start if earlier ones do
-/// not fit). `on_start` fires when placed; the caller schedules its own
-/// completion and must call release().
+/// in priority order (FIFO within a priority level); when a running task
+/// releases resources the queue is re-scanned in order (backfill: later
+/// tasks may start if earlier ones do not fit). A blocked whole-node request
+/// additionally *reserves* the nodes closest to draining: requests of
+/// strictly lower priority may not backfill onto them, so ensemble waves are
+/// never starved by a stream of single-GPU work. Within one priority level
+/// nothing is reserved — all-zero priorities reproduce the original
+/// pure-FIFO aggressive backfill exactly. `on_start` fires when placed; the
+/// caller schedules its own completion and must call release().
 class ClusterSim {
  public:
   ClusterSim(Simulator& sim, const MachineSpec& machine);
@@ -75,7 +84,14 @@ class ClusterSim {
     StartCallback on_start;
   };
 
-  bool try_place(const SlotRequest& req, Placement& out);
+  /// Place `req` if it fits. When `forbidden` is non-null, nodes flagged in
+  /// it are treated as unavailable (reserved for a blocked higher-priority
+  /// request upstream in the queue scan).
+  bool try_place(const SlotRequest& req, Placement& out,
+                 const std::vector<char>* forbidden = nullptr);
+  /// Reserve the `count` unreserved nodes closest to fully free (fewest
+  /// busy slots) for a blocked whole-node request.
+  void reserve_draining_nodes(int count, std::vector<char>& reserved) const;
   void drain_queue();
   void record();
 

@@ -49,6 +49,7 @@ inline constexpr const char* kMl = "ml";        ///< surrogate train/predict
 inline constexpr const char* kFe = "fe";        ///< free-energy replicas
 inline constexpr const char* kPool = "pool";    ///< thread-pool jobs
 inline constexpr const char* kServe = "serve";  ///< inference-server batches
+inline constexpr const char* kRaptor = "raptor";  ///< RAPTOR bulk dispatch
 }  // namespace cat
 
 struct SpanArg {

@@ -44,7 +44,7 @@ SimBackend::SimBackend(const hpc::MachineSpec& machine,
     : cluster_(sim_, machine), opts_(opts) {}
 
 void SimBackend::submit(TaskDescription task, CompletionCallback on_complete) {
-  hpc::SlotRequest req{task.cpus, task.gpus, task.whole_nodes};
+  hpc::SlotRequest req{task.cpus, task.gpus, task.whole_nodes, task.priority};
   const double submitted = sim_.now();
   auto shared = std::make_shared<TaskDescription>(std::move(task));
   auto cb = std::make_shared<CompletionCallback>(std::move(on_complete));

@@ -17,6 +17,18 @@ NodeId StageGraph::add(StageNode node, std::vector<NodeId> deps) {
   return id;
 }
 
+void StageGraph::set_priority(NodeId id, double priority) {
+  if (id >= nodes_.size())
+    throw std::out_of_range("StageGraph::set_priority: no such node");
+  nodes_[id].node.priority = priority;
+}
+
+double StageGraph::priority(NodeId id) const {
+  if (id >= nodes_.size())
+    throw std::out_of_range("StageGraph::priority: no such node");
+  return nodes_[id].node.priority;
+}
+
 // ------------------------------------------------------------- AppManager
 
 AppManager::AppManager(ExecutionBackend& backend, const AppManagerOptions& opts)
@@ -46,14 +58,14 @@ void AppManager::chain_head(StageGraph& graph,
                                    : std::vector<NodeId>{dep});
 }
 
-std::vector<TaskResult> AppManager::run(std::vector<Pipeline> pipelines) {
+GraphRunReport AppManager::run(std::vector<Pipeline> pipelines) {
   StageGraph graph;
   for (auto& p : pipelines)
     chain_head(graph, std::make_shared<Pipeline>(std::move(p)), kNoNode);
   return run_graph(std::move(graph));
 }
 
-std::vector<TaskResult> AppManager::run_graph(StageGraph graph) {
+GraphRunReport AppManager::run_graph(StageGraph graph) {
   retries_ = 0;
   makespan_ = 0.0;
   auto g = std::make_shared<GraphRun>(std::move(graph));
@@ -66,8 +78,30 @@ std::vector<TaskResult> AppManager::run_graph(StageGraph graph) {
   for (NodeId id : ready) schedule(g, id);
   backend_.drain();
 
-  std::lock_guard lock(mutex_);
-  return results_;
+  GraphRunReport report;
+  {
+    std::lock_guard lock(mutex_);
+    report.results = std::move(results_);
+    results_.clear();
+    report.retries = retries_;
+    report.makespan = makespan_;
+    report.nodes.reserve(g->states.size());
+    for (NodeId id = 0; id < g->states.size(); ++id) {
+      const NodeState& st = g->states[id];
+      const StageNode& node = g->graph.nodes_[id].node;
+      NodeReport nr;
+      nr.name = node.name;
+      nr.pipeline = node.pipeline;
+      nr.priority = st.priority;
+      nr.ready = st.ready;
+      nr.begin = st.begin;
+      nr.end = st.end;
+      nr.tasks = st.task_count;
+      report.nodes.push_back(std::move(nr));
+    }
+  }
+  last_ = std::move(report);
+  return last_;
 }
 
 std::vector<NodeId> AppManager::integrate_locked(GraphRun& g) {
@@ -87,17 +121,62 @@ std::vector<NodeId> AppManager::integrate_locked(GraphRun& g) {
 }
 
 void AppManager::schedule(const std::shared_ptr<GraphRun>& g, NodeId id) {
-  // Dependency-free roots start immediately (the PST first stage);
-  // everything downstream pays the fixed stage-transition overhead.
+  {
+    std::lock_guard lock(mutex_);
+    g->states[id].ready = backend_.now();
+  }
+  // Dependency-free roots enter the launch queue immediately (the PST first
+  // stage); everything downstream pays the fixed stage-transition overhead.
   if (g->graph.nodes_[id].deps.empty()) {
-    start_node(g, id);
+    enqueue_ready(g, id);
   } else {
     backend_.after(opts_.stage_transition_overhead,
-                   [this, g, id] { start_node(g, id); });
+                   [this, g, id] { enqueue_ready(g, id); });
   }
 }
 
-void AppManager::start_node(const std::shared_ptr<GraphRun>& g, NodeId id) {
+void AppManager::enqueue_ready(const std::shared_ptr<GraphRun>& g, NodeId id) {
+  bool need_drain = false;
+  {
+    std::lock_guard lock(mutex_);
+    g->launch_queue.push_back(ReadyEntry{id, g->ready_seq++});
+    need_drain = !g->drain_pending;
+    g->drain_pending = true;
+  }
+  // One zero-delay drain event services every same-instant arrival, so the
+  // launch order is decided over the whole ready wave.
+  if (need_drain) backend_.after(0.0, [this, g] { drain_ready(g); });
+}
+
+void AppManager::drain_ready(const std::shared_ptr<GraphRun>& g) {
+  struct Launch {
+    ReadyEntry entry;
+    double priority = 0.0;
+  };
+  std::vector<Launch> batch;
+  {
+    // post_mutex_ first (the complete_node order): node priorities may be
+    // rewritten by post_exec callbacks, which run under post_mutex_.
+    std::lock_guard post(post_mutex_);
+    std::lock_guard lock(mutex_);
+    g->drain_pending = false;
+    batch.reserve(g->launch_queue.size());
+    for (const ReadyEntry& e : g->launch_queue)
+      batch.push_back(Launch{e, g->graph.nodes_[e.id].node.priority});
+    g->launch_queue.clear();
+  }
+  if (opts_.ready_order == AppManagerOptions::ReadyOrder::kPriority)
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Launch& a, const Launch& b) {
+                       return a.priority > b.priority;
+                     });
+  const bool stamp =
+      opts_.ready_order == AppManagerOptions::ReadyOrder::kPriority;
+  for (const Launch& l : batch) start_node(g, l.entry.id, l.priority, stamp);
+}
+
+void AppManager::start_node(const std::shared_ptr<GraphRun>& g, NodeId id,
+                            double node_priority, bool stamp_tasks) {
   StageGraph::Entry& entry = g->graph.nodes_[id];
   if (entry.node.build) {
     auto built = entry.node.build();
@@ -107,6 +186,7 @@ void AppManager::start_node(const std::shared_ptr<GraphRun>& g, NodeId id) {
     std::lock_guard lock(mutex_);
     NodeState& st = g->states[id];
     st.begin = backend_.now();
+    st.priority = node_priority;
     st.task_count = entry.node.tasks.size();
     st.outstanding = entry.node.tasks.size();
   }
@@ -114,7 +194,17 @@ void AppManager::start_node(const std::shared_ptr<GraphRun>& g, NodeId id) {
     complete_node(g, id);
     return;
   }
-  for (const auto& task : entry.node.tasks) submit_task(g, id, task, 0);
+  // The node's priority is always recorded (above, for the report), but it
+  // reaches the backend queues only under ReadyOrder::kPriority — FIFO mode
+  // must keep the historical all-zero SlotRequest priorities bit-exact.
+  if (stamp_tasks && node_priority != 0.0) {
+    for (TaskDescription task : entry.node.tasks) {
+      task.priority += node_priority;
+      submit_task(g, id, task, 0);
+    }
+  } else {
+    for (const auto& task : entry.node.tasks) submit_task(g, id, task, 0);
+  }
 }
 
 void AppManager::submit_task(const std::shared_ptr<GraphRun>& g, NodeId id,
@@ -177,6 +267,7 @@ void AppManager::complete_node(const std::shared_ptr<GraphRun>& g, NodeId id) {
     if (entry.node.post_exec) entry.node.post_exec(g->graph);
     std::lock_guard lock(mutex_);
     g->states[id].done = true;
+    g->states[id].end = backend_.now();
     for (NodeId dep : g->dependents[id]) {
       NodeState& st = g->states[dep];
       if (st.waiting > 0 && --st.waiting == 0) ready.push_back(dep);
@@ -187,10 +278,35 @@ void AppManager::complete_node(const std::shared_ptr<GraphRun>& g, NodeId id) {
   for (NodeId next : ready) schedule(g, next);
 }
 
-std::size_t AppManager::tasks_failed() const {
+// --------------------------------------------------------- GraphRunReport
+
+std::size_t GraphRunReport::failed() const {
   return static_cast<std::size_t>(
-      std::count_if(results_.begin(), results_.end(),
+      std::count_if(results.begin(), results.end(),
                     [](const TaskResult& r) { return !r.ok; }));
+}
+
+std::vector<double> GraphRunReport::ready_waits() const {
+  std::vector<double> waits;
+  waits.reserve(nodes.size());
+  for (const NodeReport& n : nodes) waits.push_back(n.ready_wait());
+  return waits;
+}
+
+std::vector<std::pair<double, std::size_t>>
+GraphRunReport::ready_wait_histogram() const {
+  // Eight log-spaced buckets from 10ms to 100ks; the first also absorbs
+  // zero/negative waits, the last absorbs everything beyond.
+  std::vector<std::pair<double, std::size_t>> buckets;
+  double edge = 1e-2;
+  for (int i = 0; i < 8; ++i, edge *= 10.0) buckets.emplace_back(edge, 0);
+  for (const NodeReport& n : nodes) {
+    const double w = n.ready_wait();
+    std::size_t b = 0;
+    while (b + 1 < buckets.size() && w >= buckets[b].first) ++b;
+    ++buckets[b].second;
+  }
+  return buckets;
 }
 
 }  // namespace impeccable::rct

@@ -18,11 +18,13 @@
 // preserving retries, the fixed stage-transition overhead, adaptive
 // post_exec appends, and the per-stage obs spans.
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "impeccable/rct/backend.hpp"
@@ -75,6 +77,11 @@ struct StageNode {
   /// the graph (adaptivity). The engine serializes post_exec callbacks —
   /// they never run concurrently, so shared-state merges need no locking.
   std::function<void(StageGraph&)> post_exec;
+  /// Scheduling priority (higher first). Under AppManagerOptions::ReadyOrder
+  /// ::kPriority, ready nodes launch in priority order and the node priority
+  /// is added onto every task's own priority, so backend queues prefer
+  /// critical-path work. Ignored (pure FIFO) under ::kFifo.
+  double priority = 0.0;
 };
 
 /// A dependency graph of stages. Edges point from a node to stages it
@@ -86,6 +93,13 @@ class StageGraph {
   /// graph). Returns the new node's id. Safe to call from a post_exec
   /// callback during execution (callbacks are serialized by the engine).
   NodeId add(StageNode node, std::vector<NodeId> deps = {});
+
+  /// Re-weight a node's scheduling priority. Safe to call from a post_exec
+  /// callback during execution (the engine reads priorities under the same
+  /// serialization lock) — the hook TargetPolicy uses to steal resources for
+  /// targets with rich hit rates. Takes effect for nodes not yet launched.
+  void set_priority(NodeId id, double priority);
+  double priority(NodeId id) const;
 
   std::size_t size() const { return nodes_.size(); }
 
@@ -110,6 +124,58 @@ struct AppManagerOptions {
   /// is recorded (the paper's "careful exception handling to make the setup
   /// resilient against sporadic ... errors", Sec. 6.1.1).
   int max_retries = 0;
+  /// How ready nodes leave the launch queue. kFifo is the historical
+  /// arrival-order behavior; kPriority launches same-instant ready nodes in
+  /// descending StageNode::priority order (arrival order within a level) and
+  /// stamps the node priority onto each task so backend queues agree —
+  /// critical-path waves (CG ensembles gating the pipelined makespan)
+  /// preempt bulk dock waves.
+  enum class ReadyOrder { kFifo, kPriority };
+  ReadyOrder ready_order = ReadyOrder::kFifo;
+};
+
+/// Per-node timing of one graph run.
+struct NodeReport {
+  std::string name;
+  std::string pipeline;
+  double priority = 0.0;
+  double ready = 0.0;  ///< all dependencies (and their post_execs) completed
+  double begin = 0.0;  ///< tasks built and submitted
+  double end = 0.0;    ///< last task finished and post_exec ran
+  std::size_t tasks = 0;
+  /// Time spent between becoming ready and launching: the stage-transition
+  /// overhead plus any wait in the priority launch queue.
+  double ready_wait() const { return begin - ready; }
+};
+
+/// Everything one run/run_graph call produced. Replaces the old accessor
+/// soup (tasks_completed()/tasks_failed()/... silently reflected only the
+/// last run); the report is a value you can keep. It iterates like the plain
+/// result vector the API used to return, so existing call sites that only
+/// ranged/sized the results keep compiling.
+struct GraphRunReport {
+  std::vector<TaskResult> results;  ///< every task result, completion order
+  std::vector<NodeReport> nodes;    ///< per graph node, id order
+  std::size_t retries = 0;
+  double makespan = 0.0;  ///< latest task end_time on the backend clock
+
+  std::size_t completed() const { return results.size(); }
+  std::size_t failed() const;
+  /// Per-node ready-queue waits (NodeReport::ready_wait), node-id order.
+  std::vector<double> ready_waits() const;
+  /// Log-spaced histogram of ready-queue waits: (upper_edge_seconds, count)
+  /// pairs; the first bucket also absorbs zero/negative waits.
+  std::vector<std::pair<double, std::size_t>> ready_wait_histogram() const;
+
+  // Result-vector compatibility surface.
+  using const_iterator = std::vector<TaskResult>::const_iterator;
+  const_iterator begin() const { return results.begin(); }
+  const_iterator end() const { return results.end(); }
+  std::size_t size() const { return results.size(); }
+  bool empty() const { return results.empty(); }
+  const TaskResult& operator[](std::size_t i) const { return results[i]; }
+  const TaskResult& front() const { return results.front(); }
+  const TaskResult& back() const { return results.back(); }
 };
 
 /// Executes PST pipelines or an explicit stage graph on a backend (the EnTK
@@ -119,35 +185,50 @@ class AppManager {
   explicit AppManager(ExecutionBackend& backend,
                       const AppManagerOptions& opts = {});
 
-  /// Run all pipelines to completion (blocking). Returns every task result
-  /// in completion order. Implemented as the linear-chain special case of
-  /// run_graph(): each stage becomes a node depending on its predecessor.
-  std::vector<TaskResult> run(std::vector<Pipeline> pipelines);
+  /// Run all pipelines to completion (blocking). Implemented as the
+  /// linear-chain special case of run_graph(): each stage becomes a node
+  /// depending on its predecessor.
+  GraphRunReport run(std::vector<Pipeline> pipelines);
 
-  /// Run a stage graph to completion (blocking). Every node starts as soon
-  /// as all its dependencies completed (post_exec included), plus the fixed
-  /// stage-transition overhead; independent nodes execute concurrently on
-  /// the backend. Returns every task result in completion order.
-  std::vector<TaskResult> run_graph(StageGraph graph);
+  /// Run a stage graph to completion (blocking). Every node launches once
+  /// all its dependencies completed (post_exec included), plus the fixed
+  /// stage-transition overhead; same-instant ready nodes leave the launch
+  /// queue in ReadyOrder; independent nodes execute concurrently on the
+  /// backend.
+  GraphRunReport run_graph(StageGraph graph);
 
-  /// Statistics of the last run.
-  std::size_t tasks_completed() const { return results_.size(); }
-  std::size_t tasks_failed() const;
-  std::size_t tasks_retried() const { return retries_; }
-  double makespan() const { return makespan_; }
+  /// \deprecated Statistics of the last run — prefer the GraphRunReport
+  /// value returned by run()/run_graph(); these delegate to the last report.
+  std::size_t tasks_completed() const { return last_.results.size(); }
+  std::size_t tasks_failed() const { return last_.failed(); }
+  std::size_t tasks_retried() const { return last_.retries; }
+  double makespan() const { return last_.makespan; }
 
  private:
   struct NodeState {
     std::size_t waiting = 0;      ///< dependencies not yet completed
     std::size_t outstanding = 0;  ///< tasks still running
     bool done = false;
+    double ready = 0.0;           ///< backend time dependencies completed
     double begin = 0.0;           ///< backend time the node started
+    double end = 0.0;             ///< backend time the node completed
+    double priority = 0.0;        ///< priority the node launched with
     std::size_t task_count = 0;   ///< submitted task count (span arg)
+  };
+  struct ReadyEntry {
+    NodeId id = 0;
+    std::uint64_t seq = 0;  ///< arrival order, the tie-break within a level
   };
   struct GraphRun {
     StageGraph graph;
     std::vector<NodeState> states;
     std::vector<std::vector<NodeId>> dependents;
+    /// Nodes past their transition overhead, waiting for the next launch
+    /// drain (one drain event services all same-instant arrivals, so
+    /// priority order is decided over the whole wave, not arrival order).
+    std::vector<ReadyEntry> launch_queue;
+    bool drain_pending = false;
+    std::uint64_t ready_seq = 0;
     explicit GraphRun(StageGraph g) : graph(std::move(g)) {}
   };
 
@@ -155,7 +236,14 @@ class AppManager {
   /// ids that are immediately ready. Caller holds mutex_.
   std::vector<NodeId> integrate_locked(GraphRun& g);
   void schedule(const std::shared_ptr<GraphRun>& g, NodeId id);
-  void start_node(const std::shared_ptr<GraphRun>& g, NodeId id);
+  void enqueue_ready(const std::shared_ptr<GraphRun>& g, NodeId id);
+  void drain_ready(const std::shared_ptr<GraphRun>& g);
+  /// Build and submit a ready node's tasks. `node_priority` is recorded in
+  /// the NodeReport either way; it is stamped onto the tasks (reordering the
+  /// backend queues) only when `stamp_tasks` is set — i.e. under
+  /// ReadyOrder::kPriority.
+  void start_node(const std::shared_ptr<GraphRun>& g, NodeId id,
+                  double node_priority, bool stamp_tasks);
   void submit_task(const std::shared_ptr<GraphRun>& g, NodeId id,
                    const TaskDescription& task, int attempt);
   void on_task_done(const std::shared_ptr<GraphRun>& g, NodeId id,
@@ -167,11 +255,13 @@ class AppManager {
 
   ExecutionBackend& backend_;
   AppManagerOptions opts_;
-  std::mutex mutex_;       ///< results + node states
+  std::mutex mutex_;       ///< results + node states + launch queue
   std::mutex post_mutex_;  ///< serializes post_exec callbacks + graph adds
+                           ///< + node-priority reads at launch drain
   std::vector<TaskResult> results_;
   std::size_t retries_ = 0;
   double makespan_ = 0.0;
+  GraphRunReport last_;  ///< backs the deprecated accessors
 };
 
 }  // namespace impeccable::rct

@@ -26,6 +26,22 @@ void RaptorStats::to_json(std::ostream& os) const {
   w.end_object();
 }
 
+void RaptorStats::finalize_derived() {
+  throughput_per_hour =
+      makespan > 0 ? static_cast<double>(tasks) / makespan * 3600.0 : 0.0;
+  double total_busy = 0.0, max_busy = 0.0;
+  for (double b : worker_busy) {
+    total_busy += b;
+    max_busy = std::max(max_busy, b);
+  }
+  const double denom = makespan * static_cast<double>(worker_busy.size());
+  worker_utilization = denom > 0 ? total_busy / denom : 0.0;
+  const double mean_busy =
+      worker_busy.empty() ? 0.0
+                          : total_busy / static_cast<double>(worker_busy.size());
+  load_imbalance = mean_busy > 0 ? max_busy / mean_busy : 0.0;
+}
+
 namespace {
 
 /// One master with its shard of workers and requests.
@@ -187,21 +203,10 @@ RaptorStats run_raptor(const RaptorOptions& opts,
   RaptorStats stats;
   stats.tasks = ov.completed;
   stats.makespan = ov.last_completion;
-  stats.throughput_per_hour =
-      stats.makespan > 0 ? static_cast<double>(stats.tasks) / stats.makespan * 3600.0
-                         : 0.0;
-  double total_busy = 0.0, max_busy = 0.0;
-  for (const auto& w : ov.workers) {
-    stats.worker_busy.push_back(w.busy);
-    total_busy += w.busy;
-    max_busy = std::max(max_busy, w.busy);
-  }
-  const double denom = stats.makespan * static_cast<double>(opts.workers);
-  stats.worker_utilization = denom > 0 ? total_busy / denom : 0.0;
-  const double mean_busy = total_busy / static_cast<double>(opts.workers);
-  stats.load_imbalance = mean_busy > 0 ? max_busy / mean_busy : 0.0;
+  for (const auto& w : ov.workers) stats.worker_busy.push_back(w.busy);
   stats.workers_failed = ov.workers_failed;
   stats.bulks_requeued = ov.bulks_requeued;
+  stats.finalize_derived();
   return stats;
 }
 

@@ -46,6 +46,12 @@ struct RaptorStats {
 
   /// One JSON object (obs::json writer — deterministic doubles).
   void to_json(std::ostream& os) const;
+
+  /// Recompute the derived metrics (throughput_per_hour, worker_utilization,
+  /// load_imbalance) from tasks / makespan / worker_busy. A zero makespan,
+  /// an empty worker set, or an all-idle overlay yields clean zeros instead
+  /// of NaN/Inf — an empty workload must produce an all-zero report.
+  void finalize_derived();
 };
 
 /// Execute `durations` (seconds per request) through the overlay on a fresh

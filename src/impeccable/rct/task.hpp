@@ -24,6 +24,9 @@ struct TaskDescription {
   int whole_nodes = 0;
   /// Virtual execution time in seconds (SimBackend).
   double duration = 1.0;
+  /// Scheduling priority (higher first). Ties keep submission order, so the
+  /// default 0 everywhere degenerates to exact FIFO behavior.
+  double priority = 0.0;
   /// Real work to run when the task executes (optional; both backends call
   /// it — the simulation charges `duration`, the local backend measures).
   std::function<void()> payload;

@@ -327,3 +327,57 @@ TEST(StageGraph, DeterministicOnSimBackendAcrossRuns) {
   };
   EXPECT_EQ(run_once(), run_once());
 }
+
+TEST(StageGraph, PriorityOrderLaunchesCriticalBranchFirst) {
+  // Diamond a -> {b, c} -> d on a one-node machine where each branch takes
+  // the whole GPU set: b and c become ready in the same instant, and the
+  // drain order decides who runs first. Under kFifo insertion order wins;
+  // under kPriority the higher-priority branch preempts it.
+  auto run_mode = [](rct::AppManagerOptions::ReadyOrder order) {
+    rct::SimBackend backend(hpc::test_machine(1));
+    rct::AppManager mgr(backend, {.stage_transition_overhead = 0.0,
+                                  .ready_order = order});
+    rct::StageGraph g;
+    const auto a = g.add(node_of("a", {sim_task("a", 1)}));
+    const auto b = g.add(node_of("b", {sim_task("b", 4, /*gpus=*/6)}), {a});
+    const auto c = g.add(node_of("c", {sim_task("c", 2, /*gpus=*/6)}), {a});
+    g.add(node_of("d", {sim_task("d", 1)}), {b, c});
+    g.set_priority(b, 1.0);
+    g.set_priority(c, 5.0);
+    EXPECT_EQ(g.priority(b), 1.0);
+    double b_start = 0, c_start = 0;
+    const auto report = mgr.run_graph(std::move(g));
+    for (const auto& r : report) {
+      if (r.name == "b") b_start = r.start_time;
+      if (r.name == "c") c_start = r.start_time;
+    }
+    return std::make_pair(b_start, c_start);
+  };
+
+  const auto [fifo_b, fifo_c] = run_mode(rct::AppManagerOptions::ReadyOrder::kFifo);
+  EXPECT_LT(fifo_b, fifo_c);  // historical order: b was inserted first
+  const auto [prio_b, prio_c] =
+      run_mode(rct::AppManagerOptions::ReadyOrder::kPriority);
+  EXPECT_LT(prio_c, prio_b);  // priority inverts the same-instant wave
+}
+
+TEST(StageGraph, AllZeroPrioritiesDegenerateToFifo) {
+  // kPriority with default (zero) node priorities must reproduce kFifo
+  // timings exactly — the stable sort keeps arrival order within a level.
+  auto run_mode = [](rct::AppManagerOptions::ReadyOrder order) {
+    rct::SimBackend backend(hpc::test_machine(1));
+    rct::AppManager mgr(backend, {.stage_transition_overhead = 0.5,
+                                  .ready_order = order});
+    rct::StageGraph g;
+    const auto a = g.add(node_of("a", {sim_task("a", 2)}));
+    const auto b = g.add(node_of("b", {sim_task("b", 3, 6)}), {a});
+    const auto c = g.add(node_of("c", {sim_task("c", 5, 6)}), {a});
+    g.add(node_of("d", {sim_task("d", 1)}), {b, c});
+    std::vector<std::pair<std::string, double>> out;
+    const auto report = mgr.run_graph(std::move(g));
+    for (const auto& r : report) out.emplace_back(r.name, r.end_time);
+    return out;
+  };
+  EXPECT_EQ(run_mode(rct::AppManagerOptions::ReadyOrder::kFifo),
+            run_mode(rct::AppManagerOptions::ReadyOrder::kPriority));
+}

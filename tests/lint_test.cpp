@@ -152,6 +152,11 @@ TEST(LintRules, UnorderedInStages) {
   auto diags = lint_as("src/impeccable/core/stages/s.cpp", bad);
   ASSERT_GE(diags.size(), 2u);
   EXPECT_EQ(diags[0].rule, "no-unordered-in-stages");
+  // The multi-campaign engine merges per-target state the same way the
+  // stage modules do, so it inherits the rule.
+  auto multi = lint_as("src/impeccable/core/multi_campaign.cpp", bad);
+  ASSERT_GE(multi.size(), 2u);
+  EXPECT_EQ(multi[0].rule, "no-unordered-in-stages");
   // Outside core/stages/ the containers are allowed (md's exclusion set).
   EXPECT_TRUE(lint_as("src/impeccable/md/forcefield.hpp",
                       "#pragma once\n" + std::string(bad))

@@ -397,7 +397,11 @@ FileClass classify(std::string_view rel_path) {
     cls.in_dock_scorer = base.rfind("score", 0) == 0 ||
                          base.rfind("grid.", 0) == 0;
   }
-  cls.in_stages = p.find("core/stages/") != std::string::npos;
+  // core/multi_campaign holds the same kind of state-merging code as the
+  // stage modules (per-target reports, policy progress scans), so it gets
+  // the same hash-order-iteration ban.
+  cls.in_stages = p.find("core/stages/") != std::string::npos ||
+                  p.find("core/multi_campaign") != std::string::npos;
   cls.in_serve = cls.in_src && p.find("/serve/") != std::string::npos;
   return cls;
 }
