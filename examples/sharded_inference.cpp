@@ -1,8 +1,10 @@
-// ML1 deployment pipeline (Sec. 6.1.1): shard a compound library's
-// depictions into compressed files on disk, then run distributed inference —
-// rank-partitioned shards, a prefetching loader thread per rank feeding the
-// surrogate through a bounded queue, resilience to corrupt shards, and a
-// rank-0 gather of (ligand, score) pairs.
+// ML1 deployment pipeline (Sec. 6.1.1): generate a compound library
+// straight into the on-disk LigandStore (the out-of-core SMILES format),
+// depict it through a lazy MmapSource, shard the depictions into compressed
+// files, then run distributed inference — rank-partitioned shards, a
+// prefetching loader thread per rank feeding the surrogate through a
+// bounded queue, resilience to corrupt shards, and a rank-0 gather of
+// (ligand, score) pairs.
 //
 //   $ ./examples/sharded_inference
 
@@ -12,9 +14,7 @@
 #include <filesystem>
 #include <fstream>
 
-#include "impeccable/chem/depiction.hpp"
-#include "impeccable/chem/library.hpp"
-#include "impeccable/chem/smiles.hpp"
+#include "impeccable/chem/ligand_source.hpp"
 #include "impeccable/ml/shards.hpp"
 
 namespace chem = impeccable::chem;
@@ -24,12 +24,22 @@ int main() {
   const std::size_t compounds = 400;
   const std::size_t per_shard = 50;
 
-  // Build the dataset: depictions of a synthetic library.
-  const auto lib = chem::generate_library("ULT", compounds, 911);
+  // Spill the generated library to a LigandStore and read it back through
+  // the mmap'd source — the campaign engine's out-of-core data path.
+  const auto store_dir =
+      std::filesystem::temp_directory_path() / "impeccable_example_store";
+  std::filesystem::remove_all(store_dir);
+  chem::spill_generated_library("ULT", compounds, 911, store_dir.string());
+  auto store = chem::LigandStore::open(store_dir.string());
+  std::printf("store: %zu ligands in %zu shard(s), %zu skipped\n",
+              store.size(), store.stats().shards_ok,
+              store.stats().shards_skipped);
+  const chem::MmapSource source(std::move(store));
+
   std::vector<ml::ShardRecord> records;
   std::size_t raw_bytes = 0;
-  for (const auto& e : lib.entries) {
-    records.push_back({e.id, chem::depict(chem::parse_smiles(e.smiles))});
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    records.push_back({source.id(i), source.image(i)});
     raw_bytes += records.back().image.data.size();  // uint8-quantized size
   }
 
@@ -70,5 +80,6 @@ int main() {
     std::printf("  %s  score %.3f\n", ranked[i].first.c_str(), ranked[i].second);
 
   std::filesystem::remove_all(dir);
+  std::filesystem::remove_all(store_dir);
   return 0;
 }

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # One-command verification gate across the whole check matrix:
 #   1. default preset (warnings promoted to errors): build + full suite +
-#      the `lint`-labelled project-rule lint over the tree;
+#      the `lint`-labelled project-rule lint over the tree + the `library`
+#      label (out-of-core LigandStore format, corruption resilience, and
+#      the InMemory/Mmap fingerprint-equality gate) as its own lane so a
+#      store regression is named in the output, not buried in the suite;
 #   2. asan preset (Address+LeakSanitizer with IMPECCABLE_CHECKS on — the
 #      RNG-ownership auditor and IMP_DCHECK bounds checks run live): full
-#      suite;
+#      suite + the `library` label again (the mmap read path and spill
+#      files are exactly where a lifetime bug would hide);
 #   3. ubsan preset (-fsanitize=undefined, errors fatal): full suite;
 #   4. tsan preset: the concurrency-sensitive subsets (obs + graph + serve
 #      + multi labels — serve covers the inference server's worker/submitter
@@ -41,6 +45,9 @@ ctest --preset default -j "$JOBS"
 echo "== project lint (lint label) =="
 ctest --preset lint -j "$JOBS"
 
+echo "== out-of-core library gate (library label) =="
+ctest --preset library -j "$JOBS"
+
 if [ "$QUICK" -eq 1 ]; then
   echo "== quick checks passed (sanitizer lanes skipped) =="
   exit 0
@@ -52,6 +59,9 @@ cmake --build --preset asan -j "$JOBS"
 
 echo "== asan: full test suite =="
 ctest --preset asan -j "$JOBS"
+
+echo "== asan: out-of-core library gate (library label) =="
+ctest --preset asan-library -j "$JOBS"
 
 echo "== configure + build (ubsan preset, -fno-sanitize-recover) =="
 cmake --preset ubsan -DIMPECCABLE_WERROR=ON

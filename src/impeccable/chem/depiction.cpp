@@ -57,7 +57,7 @@ Image depict(const Molecule& mol, const DepictionOptions& opts) {
   img.data.assign(
       static_cast<std::size_t>(opts.channels) * opts.height * opts.width, 0.0f);
 
-  const auto layout = layout_2d(mol, opts.layout_seed);
+  const auto layout = layout_2d(mol, opts.layout_seed, opts.layout_iterations);
 
   // Map unit-RMS layout into pixel coordinates with a margin; the layout is
   // normalized so a fixed zoom keeps typical drug-likes inside the frame.

@@ -25,6 +25,10 @@ struct DepictionOptions {
   int channels = 4;
   double atom_sigma = 0.9;   ///< Gaussian splat radius in pixels
   std::uint64_t layout_seed = 7;
+  /// Force-directed layout iterations (see layout_2d). The default keeps
+  /// depictions bitwise identical to the historical fixed count; streaming
+  /// benchmarks lower it for throughput at coarse resolutions.
+  int layout_iterations = 250;
 };
 
 struct Image {

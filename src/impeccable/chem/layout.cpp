@@ -20,7 +20,8 @@ double ideal_bond_length(const Molecule& mol, int bond_index) {
   return len;
 }
 
-std::vector<Point2> layout_2d(const Molecule& mol, std::uint64_t seed) {
+std::vector<Point2> layout_2d(const Molecule& mol, std::uint64_t seed,
+                              int iterations) {
   const int n = mol.atom_count();
   std::vector<Point2> pos(static_cast<std::size_t>(n));
   common::Rng rng(seed);
@@ -31,10 +32,11 @@ std::vector<Point2> layout_2d(const Molecule& mol, std::uint64_t seed) {
   if (n == 1) return {{0.0, 0.0}};
 
   // Fruchterman–Reingold-style iterations with unit ideal bond length.
-  const int iters = 250;
+  const int iters = std::max(1, iterations);
+  std::vector<Point2> force(static_cast<std::size_t>(n));
   for (int it = 0; it < iters; ++it) {
     const double step = 0.12 * (1.0 - static_cast<double>(it) / iters) + 0.01;
-    std::vector<Point2> force(static_cast<std::size_t>(n), Point2{});
+    force.assign(static_cast<std::size_t>(n), Point2{});
     // Repulsion between all pairs.
     for (int i = 0; i < n; ++i) {
       for (int j = i + 1; j < n; ++j) {

@@ -23,8 +23,12 @@ struct Point2 {
 };
 
 /// Spring-embedder 2D layout with unit bond lengths; centered at the origin
-/// and scaled so the RMS distance from center is 1.
-std::vector<Point2> layout_2d(const Molecule& mol, std::uint64_t seed = 7);
+/// and scaled so the RMS distance from center is 1. `iterations` trades
+/// embedding fidelity for speed (the default matches the historical fixed
+/// count; low-resolution depictions tolerate far fewer — the out-of-core
+/// streaming bench runs 1e8 ligands on a coarse setting).
+std::vector<Point2> layout_2d(const Molecule& mol, std::uint64_t seed = 7,
+                              int iterations = 250);
 
 /// Distance-geometry 3D embedding: bond-length and 1-3 distance restraints
 /// plus soft nonbonded repulsion, minimized from a randomized start.

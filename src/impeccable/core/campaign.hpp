@@ -153,6 +153,26 @@ struct ExecConfig {
   /// docked/estimated compounds are restored and re-seed the ML1 training
   /// set, so a resumed campaign does not redo finished work.
   std::string resume_checkpoint;
+
+  /// Where the library lives (the ML1 data path). kInMemory parses and
+  /// depicts every compound up front — the historical behavior, fine to
+  /// ~1e6 ligands. kMmapStore spills the generated library once into an
+  /// on-disk chem::LigandStore and streams parse/depict/predict in bounded
+  /// windows, so the real code path runs at 1e8+ ligands. The science
+  /// fingerprint is bitwise identical between the two (an ExecConfig field
+  /// by contract; pinned in tests/library_store_test.cpp).
+  enum class LibraryBackend { kInMemory, kMmapStore };
+  LibraryBackend library_backend = LibraryBackend::kInMemory;
+
+  /// Store directory for kMmapStore. Empty = a per-(name, size, seed)
+  /// directory under the system temp path. A directory already holding a
+  /// matching store is reused instead of re-spilled.
+  std::string library_store_dir;
+
+  /// Ligands per streaming featurization window: bounds ML1's resident
+  /// image memory for both backends (the spilled score array is file-backed
+  /// under kMmapStore, so peak RSS tracks this window, not library size).
+  std::size_t featurize_window = 4096;
 };
 
 /// Compatibility aggregate: the historical flat config is exactly the two

@@ -1,45 +1,89 @@
 #include "impeccable/core/stages/campaign_state.hpp"
 
-#include "impeccable/chem/protonation.hpp"
-#include "impeccable/chem/smiles.hpp"
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
 #include "impeccable/core/checkpoint.hpp"
 
 namespace impeccable::core::stages {
 
+namespace {
+
+/// Default on-disk location for a generated library's store: keyed on
+/// (name, size, seed) so repeated runs of the same campaign reuse the spill
+/// instead of regenerating 1e8 compounds.
+std::string default_store_dir(const CampaignConfig& cfg) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "impeccable-store-%s-%zu-%llu",
+                cfg.library_name.c_str(), cfg.library_size,
+                static_cast<unsigned long long>(cfg.library_seed));
+  return (std::filesystem::temp_directory_path() / buf).string();
+}
+
+}  // namespace
+
 void CampaignState::init() {
   const CampaignConfig& cfg = *config;
-  library = chem::generate_library(cfg.library_name, cfg.library_size,
-                                   cfg.library_seed);
 
-  // Parse and depict the whole library once (ML1 inference input).
-  lib_mols.reserve(library.size());
-  lib_images.reserve(library.size());
-  for (const auto& entry : library.entries) {
-    chem::Molecule mol = chem::parse_smiles(entry.smiles);
-    if (cfg.prepare_ligands_at_ph > 0.0)
-      mol = chem::protonate_for_ph(mol, cfg.prepare_ligands_at_ph);
-    lib_mols.push_back(std::move(mol));
-    lib_images.push_back(chem::depict(lib_mols.back()));
-    CompoundRecord rec;
-    rec.id = entry.id;
-    rec.smiles = entry.smiles;
-    report->compounds.emplace(entry.id, std::move(rec));
+  chem::SourceOptions sopts;
+  sopts.protonate_ph = cfg.prepare_ligands_at_ph;
+
+  if (cfg.library_backend == ExecConfig::LibraryBackend::kMmapStore) {
+    store_dir = cfg.library_store_dir.empty() ? default_store_dir(cfg)
+                                              : cfg.library_store_dir;
+    chem::LigandStore store = chem::LigandStore::open(store_dir);
+    if (store.size() != cfg.library_size ||
+        store.stats().shards_skipped != 0) {
+      // Missing, stale, or damaged: regenerate the spill from scratch.
+      store = chem::LigandStore();
+      std::filesystem::remove_all(store_dir);
+      chem::spill_generated_library(cfg.library_name, cfg.library_size,
+                                    cfg.library_seed, store_dir);
+      store = chem::LigandStore::open(store_dir);
+    }
+    source = std::make_shared<chem::MmapSource>(std::move(store), sopts);
+  } else {
+    source = std::make_shared<chem::InMemorySource>(
+        chem::generate_library(cfg.library_name, cfg.library_size,
+                               cfg.library_seed),
+        sopts);
   }
 
   // Resume: restore prior records and rebuild the training set from them.
+  // Checkpoints hold only touched compounds, so resolve their ids to
+  // library ordinals in one linear scan (stopping once all are found) —
+  // the id_index built here is reused by every later lookup.
   if (!cfg.resume_checkpoint.empty()) {
     const auto prev = read_checkpoint(cfg.resume_checkpoint);
-    for (std::size_t i = 0; i < library.size(); ++i) {
-      const auto it = prev.find(library.entries[i].id);
+    std::size_t found = 0;
+    for (std::size_t i = 0; i < source->size() && found < prev.size(); ++i) {
+      const auto it = prev.find(source->id(i));
       if (it == prev.end()) continue;
-      auto& rec = report->compounds.at(library.entries[i].id);
+      ++found;
+      id_index.emplace(it->first, i);
+      auto& rec = report->compounds[it->first];
       rec = it->second;
       if (rec.docked) {
-        train_images.push_back(lib_images[i]);
+        docked_indices.insert(i);
+        train_images.push_back(source->image(i));
         train_scores.push_back(rec.dock_score);
       }
     }
   }
+}
+
+CompoundRecord& CampaignState::record_for(std::size_t index) {
+  std::string cid = source->id(index);
+  auto it = report->compounds.find(cid);
+  if (it == report->compounds.end()) {
+    CompoundRecord rec;
+    rec.id = cid;
+    rec.smiles = source->smiles(index);
+    it = report->compounds.emplace(std::move(cid), std::move(rec)).first;
+    id_index.emplace(it->second.id, index);
+  }
+  return it->second;
 }
 
 }  // namespace impeccable::core::stages

@@ -15,10 +15,15 @@
 //    of the training set and the `docked` flags ML1 reads.
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
+#include "impeccable/chem/ligand_source.hpp"
 #include "impeccable/core/campaign.hpp"
+#include "impeccable/ml/streaming.hpp"
 
 namespace impeccable::core::stages {
 
@@ -64,6 +69,22 @@ struct ScaleModel {
   std::size_t fg_conformations = 0;
   int fg_whole_nodes = 4;
   double fg_seconds = 0.0;  ///< per ensemble
+
+  /// Optional replay: when set, the virtual ML1 shard tasks additionally
+  /// stream their partition of a *real* LigandSource through the real
+  /// featurize -> predict -> streaming-top-k path (durations stay virtual).
+  /// This is how bench/library_scale runs the production ML1 code over a
+  /// 1e8-ligand on-disk store inside a simulated campaign.
+  struct Replay {
+    const chem::LigandSource* source = nullptr;
+    const ml::SurrogateModel* model = nullptr;
+    std::size_t window = 8192;
+    std::size_t top_k = 1000;
+    // Outputs, written only by ML1 merges (engine-serialized):
+    std::vector<ml::TopCandidate> selected;  ///< exact top-k, last iteration
+    std::size_t ligands_scored = 0;          ///< cumulative over iterations
+  };
+  Replay* replay = nullptr;
 };
 
 /// Mutable state of one campaign iteration, shared by that iteration's five
@@ -72,8 +93,16 @@ struct ScaleModel {
 struct IterationScratch {
   int iteration = 0;
 
-  // ML1 outputs.
-  std::vector<double> surrogate_scores;
+  // ML1 outputs. Library-wide surrogate scores live in an external-memory
+  // spill (RAM-backed for InMemorySource, file-backed for MmapSource) —
+  // never a materialized std::vector over the library. `dock_pred` carries
+  // the predictions for just the selected dock slice (0.5 on bootstrap
+  // iterations, before the surrogate has trained).
+  std::shared_ptr<ml::ScoreSpill> scores;
+  std::vector<double> dock_pred;  ///< parallel to dock_indices
+
+  // Scale-replay partials: one slot per virtual ML1 shard task.
+  std::vector<std::vector<ml::TopCandidate>> replay_parts;
 
   // S1 inputs/outputs.
   std::vector<std::size_t> dock_indices;  ///< into the library
@@ -108,19 +137,39 @@ struct CampaignState {
   CampaignReport* report = nullptr;
   const ScaleModel* scale = nullptr;  ///< non-null = virtual workload mode
 
-  chem::CompoundLibrary library;
-  std::vector<chem::Molecule> lib_mols;
-  std::vector<chem::Image> lib_images;
+  /// The library, behind a polymorphic source: InMemorySource (eager,
+  /// historical behavior) or MmapSource (on-disk store, lazy windows) per
+  /// config->library_backend. Accessors are const and thread-safe; stages
+  /// address ligands by ordinal everywhere.
+  std::shared_ptr<const chem::LigandSource> source;
+  /// Directory of the on-disk store (empty under kInMemory); iteration
+  /// score spills land here too.
+  std::string store_dir;
+
+  /// Compound id -> library ordinal for every compound that has a record.
+  /// Built once (checkpoint restore resolves all prior ids in one library
+  /// scan) and extended as records are created; auto-budget validation
+  /// lookups reuse it instead of re-scanning.
+  std::map<std::string, std::size_t> id_index;
+  /// Ordinals of every docked compound (restored or this run): the "never
+  /// redo work" filter, without per-candidate id round-trips.
+  std::set<std::size_t> docked_indices;
 
   /// Accumulated ML1 training data: depictions + dock scores (the feedback
   /// loop). Appended only by S1 merges, read only by downstream ML1 stages.
   std::vector<chem::Image> train_images;
   std::vector<double> train_scores;
 
-  /// Generate and featurize the library, then restore checkpointed records
-  /// (config->resume_checkpoint) into the report and the training set.
-  /// Requires target/config/report to be set. Not used in scale mode.
+  /// Build the ligand source (generate in RAM, or spill/reuse the on-disk
+  /// store), then restore checkpointed records (config->resume_checkpoint)
+  /// into the report and the training set. Requires target/config/report to
+  /// be set. Not used in scale mode.
   void init();
+
+  /// The record for library ordinal `index`, created (id, smiles, and
+  /// id_index entry) on first touch. Records exist only for touched
+  /// compounds — a 1e8-ligand run must not materialize 1e8 records.
+  CompoundRecord& record_for(std::size_t index);
 
   IterationMetrics& metrics(int iteration) {
     return report->iterations[static_cast<std::size_t>(iteration)];

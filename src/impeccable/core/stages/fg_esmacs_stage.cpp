@@ -66,7 +66,8 @@ void FgEsmacsStage::merge(CampaignState& cs) {
   metrics.docked = s_->dock_indices.size();
   metrics.cg_runs = s_->cg_pick.size();
   metrics.fg_runs = s_->fg_jobs.size();
-  if (metrics.library_screened == 0) metrics.library_screened = metrics.docked;
+  // library_screened is stamped unconditionally by Ml1Stage::merge — the
+  // enrichment denominator is always the full library, warm-up included.
   const double now = cs.backend->now();
   metrics.wall_seconds = now - s_->iter_begin;
   const double s1_wall = std::max(1e-9, s_->s1_end - s_->s1_begin);
@@ -78,7 +79,7 @@ void FgEsmacsStage::merge(CampaignState& cs) {
   {
     std::vector<double> pred, truth;
     for (std::size_t i = 0; i < s_->dock_indices.size(); ++i) {
-      pred.push_back(s_->surrogate_scores[s_->dock_indices[i]]);
+      pred.push_back(s_->dock_pred[i]);
       truth.push_back(-s_->dock_results[i].best_score);  // higher = better
     }
     metrics.surrogate_spearman =

@@ -32,17 +32,22 @@ std::vector<rct::TaskDescription> S1DockStage::build(CampaignState& cs) {
   auto scratch = s_;
   for (std::size_t i = 0; i < s_->dock_indices.size(); ++i) {
     rct::TaskDescription t;
-    t.name = "dock-" + cs.library.entries[s_->dock_indices[i]].id;
+    t.name = "dock-" + cs.source->id(s_->dock_indices[i]);
     t.gpus = 1;
     t.duration = cs.config->sim_durations.dock;
     t.payload = [st, scratch, i] {
       const Target& target = *st->target;
       dock::DockOptions dopts = st->config->dock;
+      const std::size_t idx = scratch->dock_indices[i];
       // Seeded by the global library index, not the iteration: a compound
       // docks identically no matter which iteration selects it.
-      dopts.seed = item_seed(st->config->seed, 0xd0c, scratch->dock_indices[i]);
+      dopts.seed = item_seed(st->config->seed, 0xd0c, idx);
       dopts.pool = st->backend->compute_pool();
-      const auto& id = st->library.entries[scratch->dock_indices[i]].id;
+      const std::string id = st->source->id(idx);
+      // Parse (and protonate) here, on a worker, into this task's own
+      // scratch slot — under an out-of-core source there is no materialized
+      // molecule to copy.
+      scratch->molecules[i] = st->source->molecule(idx);
       // S1 protocol: enumerate conformers, dock against every crystal
       // structure of the target, keep the best pose overall.
       if (target.grids.size() > 1) {
@@ -66,14 +71,14 @@ void S1DockStage::merge(CampaignState& cs) {
   if (cs.scale) return;
   s_->s1_end = cs.backend->now();
   for (std::size_t i = 0; i < s_->dock_indices.size(); ++i) {
+    const std::size_t idx = s_->dock_indices[i];
     const auto& dres = s_->dock_results[i];
-    auto& rec = cs.report->compounds.at(dres.ligand_id);
+    auto& rec = cs.record_for(idx);
     rec.dock_score = dres.best_score;
     rec.docked = true;
-    rec.surrogate_score = s_->surrogate_scores.empty()
-                              ? 0.5
-                              : s_->surrogate_scores[s_->dock_indices[i]];
-    cs.train_images.push_back(cs.lib_images[s_->dock_indices[i]]);
+    rec.surrogate_score = s_->dock_pred[i];
+    cs.docked_indices.insert(idx);
+    cs.train_images.push_back(cs.source->image(idx));
     cs.train_scores.push_back(dres.best_score);
     cs.report->flops->add(
         "S1", dres.evaluations *

@@ -5,7 +5,7 @@
 #include <thread>
 
 #include "impeccable/chem/library.hpp"
-#include "impeccable/chem/smiles.hpp"
+#include "impeccable/chem/ligand_source.hpp"
 #include "impeccable/common/rng.hpp"
 #include "impeccable/obs/metrics.hpp"
 
@@ -44,16 +44,18 @@ LoadReport finish_report(const obs::Histogram& hist, double duration_s,
 Workload make_workload(const WorkloadOptions& opts) {
   Workload w;
   const std::size_t uniques = std::max<std::size_t>(1, opts.unique_ligands);
-  const auto lib = chem::generate_library("SRV", uniques, opts.seed);
-  chem::DepictionOptions dopts;
-  dopts.channels = opts.channels;
-  dopts.height = opts.height;
-  dopts.width = opts.width;
-  w.unique.reserve(lib.entries.size());
-  for (const auto& entry : lib.entries) {
-    const chem::Molecule mol = chem::parse_smiles(entry.smiles);
+  // Library access goes through the LigandSource abstraction (the campaign
+  // engine's data path), not hand-rolled parse/depict over raw entries.
+  chem::SourceOptions sopts;
+  sopts.depiction.channels = opts.channels;
+  sopts.depiction.height = opts.height;
+  sopts.depiction.width = opts.width;
+  const chem::InMemorySource source(
+      chem::generate_library("SRV", uniques, opts.seed), sopts);
+  w.unique.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
     Request req;
-    req.image = chem::depict(mol, dopts);
+    req.image = source.image(i);
     // Key on the depiction digest: it is exactly the content the model
     // consumes, so identical keys imply identical CNN inputs — the cache
     // can never alias two ligands the model would score differently.

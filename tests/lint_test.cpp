@@ -134,6 +134,31 @@ void f(int n) {
   EXPECT_TRUE(lint_as("src/impeccable/dock/engine.cpp", bad).empty());
 }
 
+TEST(LintRules, NakedAllocCoversChemStoreFiles) {
+  // The out-of-core library files carry the scorer's allocation guarantee:
+  // the mmap read path must not grow per-ligand heap state.
+  EXPECT_TRUE(lint::classify("src/impeccable/chem/store.cpp").in_chem_store);
+  EXPECT_TRUE(lint::classify("src/impeccable/chem/store.hpp").in_chem_store);
+  EXPECT_TRUE(lint::classify("src/impeccable/chem/ligand_source.cpp")
+                  .in_chem_store);
+  EXPECT_FALSE(
+      lint::classify("src/impeccable/chem/library.cpp").in_chem_store);
+  EXPECT_FALSE(lint::classify("tests/store_fake.cpp").in_chem_store);
+
+  const char* bad = "void f() { void* m = malloc(8); free(m); }\n";
+  auto diags = lint_as("src/impeccable/chem/store.cpp", bad);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "no-naked-alloc");
+  // And they inherit the src/-wide rules (iostream ban) like any library
+  // file.
+  auto io = lint_as("src/impeccable/chem/ligand_source.cpp",
+                    "void g() { std::cout << 1; }\n");
+  ASSERT_EQ(io.size(), 1u);
+  EXPECT_EQ(io[0].rule, "no-iostream-in-lib");
+  // Other chem/ files stay out of the allocation rule's scope.
+  EXPECT_TRUE(lint_as("src/impeccable/chem/library.cpp", bad).empty());
+}
+
 TEST(LintRules, PragmaOnce) {
   auto diags = lint_as("src/impeccable/x.hpp", "struct A {};\n");
   ASSERT_EQ(diags.size(), 1u);

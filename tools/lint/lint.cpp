@@ -397,6 +397,15 @@ FileClass classify(std::string_view rel_path) {
     cls.in_dock_scorer = base.rfind("score", 0) == 0 ||
                          base.rfind("grid.", 0) == 0;
   }
+  // The out-of-core library files carry the same no-naked-alloc guarantee
+  // as the dock scorer: the mmap read path must not grow per-ligand heap
+  // state. (Being under src/, they inherit no-iostream-in-lib and
+  // no-nondet-source like every library file.)
+  if (cls.in_src && p.find("/chem/") != std::string::npos) {
+    const std::string base = p.substr(p.rfind('/') + 1);
+    cls.in_chem_store = base.rfind("store", 0) == 0 ||
+                        base.rfind("ligand_source", 0) == 0;
+  }
   // core/multi_campaign holds the same kind of state-merging code as the
   // stage modules (per-target reports, policy progress scans), so it gets
   // the same hash-order-iteration ban.
@@ -417,7 +426,7 @@ std::vector<Diagnostic> lint_source(std::string_view text,
     rule_iostream_in_lib(scan, sink);
   }
   rule_std_rand(scan, sink);
-  if (cls.in_dock_scorer) rule_naked_alloc(scan, sink);
+  if (cls.in_dock_scorer || cls.in_chem_store) rule_naked_alloc(scan, sink);
   if (cls.is_header) rule_pragma_once(scan, sink);
   if (cls.in_stages) rule_unordered_in_stages(scan, sink);
   if (cls.in_serve) rule_detached_thread(scan, sink);

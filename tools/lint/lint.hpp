@@ -27,7 +27,11 @@
 //                       and unbuffered-by-intent.
 //   no-naked-alloc      dock/ steady-state scorer files (score*, grid.*;
 //                       score* covers score_batch.* — the batched kernels
-//                       carry the same guarantee).
+//                       carry the same guarantee) and the chem/ out-of-core
+//                       store files (store.*, ligand_source.* — their read
+//                       path serves string_views out of mmap'd shards, and
+//                       a raw malloc/new[] there is exactly the per-ligand
+//                       heap state the format exists to avoid).
 //                       malloc/calloc/realloc and array new[] would
 //                       silently undo PR 2's allocation-free evaluate()
 //                       guarantee; storage belongs in ScorerScratch or in
@@ -77,6 +81,7 @@ struct FileClass {
   bool in_src = false;          ///< under src/ (library code)
   bool is_header = false;       ///< .hpp or .h
   bool in_dock_scorer = false;  ///< dock/score*, dock/grid.* (incl. score_batch.*)
+  bool in_chem_store = false;   ///< chem/store*, chem/ligand_source*
   bool in_stages = false;       ///< under core/stages/
   bool in_serve = false;        ///< under src/impeccable/serve/
 };
